@@ -1,0 +1,639 @@
+// Command vizpower regenerates every table and figure of "Power and
+// Performance Tradeoffs for Visualization Algorithms" (Labasan et al.,
+// IPDPS 2019) on the simulated-Broadwell reproduction stack.
+//
+// Usage:
+//
+//	vizpower <command> [flags]
+//
+// Commands:
+//
+//	table1    Phase 1 — contour slowdown vs. power cap (Table I)
+//	table2    Phase 2 — all algorithms at the phase size (Table II)
+//	table3    Phase 3 — all algorithms at the largest size (Table III)
+//	fig1      render the eight algorithm images (Figure 1) into -out
+//	fig2a     effective frequency vs. cap, all algorithms (Figure 2a)
+//	fig2b     IPC vs. cap (Figure 2b)
+//	fig2c     LLC miss rate vs. cap (Figure 2c)
+//	fig3      elements/s vs. cap, cell-centered algorithms (Figure 3)
+//	fig4      IPC vs. cap by size — slice (Figure 4)
+//	fig5      IPC vs. cap by size — volume rendering (Figure 5)
+//	fig6      IPC vs. cap by size — particle advection (Figure 6)
+//	classify  demand power / IPC / miss rate / class per algorithm
+//	trace     in situ power timeline under a cap (simulate+visualize)
+//	allocate  split a node power budget between simulation and viz
+//	all       regenerate everything into -out (tables, CSVs, images)
+//
+// Common flags: -quick shrinks the study for a fast demonstration;
+// -progress streams per-run log lines to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/cinema"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/msr"
+	"repro/internal/perfctr"
+	"repro/internal/rapl"
+	"repro/internal/sim/clover"
+	"repro/internal/viz"
+	"repro/internal/viz/raytrace"
+	"repro/internal/viz/volren"
+	"repro/internal/vtkio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vizpower:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	cfg      *harness.Config
+	csv      bool
+	out      string
+	capW     float64
+	budget   float64
+	cycles   int
+	figSize  int
+	alg      string
+	extended bool
+}
+
+func parseFlags(cmd string, args []string) (*options, error) {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		quick     = fs.Bool("quick", false, "shrink the study for a fast demonstration (small sizes and image counts)")
+		progress  = fs.Bool("progress", false, "stream per-run progress to stderr")
+		sizes     = fs.String("sizes", "", "comma-separated data-set sizes (default 32,64,128,256; quick: 16,32)")
+		phaseSize = fs.Int("phase-size", 0, "data-set size for phases 1-2 (default 128; quick: 32)")
+		images    = fs.Int("images", 0, "ray tracing / volume rendering image count (default 50)")
+		imgSize   = fs.Int("imgsize", 0, "rendered image width/height (default 128)")
+		particles = fs.Int("particles", 0, "particle advection seed count (default 1024)")
+		steps     = fs.Int("steps", 0, "particle advection step count (default 1000)")
+		iso       = fs.Int("isovalues", 0, "contour isovalues per cycle (default 10)")
+		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
+		out       = fs.String("out", "out", "output directory (fig1, all)")
+		capW      = fs.Float64("cap", 65, "power cap in watts (trace)")
+		budget    = fs.Float64("budget", 130, "node power budget in watts (allocate)")
+		cycles    = fs.Int("cycles", 3, "in situ cycles (trace)")
+		figRes    = fs.Int("figres", 256, "figure-1 rendering resolution")
+		alg       = fs.String("alg", "Contour", "algorithm name (arch)")
+		extended  = fs.Bool("extended", false, "include the extension filters (classify)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	cfg := &harness.Config{}
+	if *quick {
+		cfg.Sizes = []int{16, 32}
+		cfg.PhaseSize = 32
+		cfg.Images = 10
+		cfg.ImageSize = 64
+		cfg.Particles = 256
+		cfg.ParticleSteps = 300
+		cfg.SimTime = 0.05
+		cfg.MaxSimSize = 32
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad -sizes entry %q: %w", s, err)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	if *phaseSize > 0 {
+		cfg.PhaseSize = *phaseSize
+	}
+	if *images > 0 {
+		cfg.Images = *images
+	}
+	if *imgSize > 0 {
+		cfg.ImageSize = *imgSize
+	}
+	if *particles > 0 {
+		cfg.Particles = *particles
+	}
+	if *steps > 0 {
+		cfg.ParticleSteps = *steps
+	}
+	if *iso > 0 {
+		cfg.Isovalues = *iso
+	}
+	if *progress {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  [progress]", line) }
+	}
+	cfg.Defaults()
+	return &options{
+		cfg: cfg, csv: *csv, out: *out,
+		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
+		alg: *alg, extended: *extended,
+	}, nil
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd := args[0]
+	opt, err := parseFlags(cmd, args[1:])
+	if err != nil {
+		return err
+	}
+	c := opt.cfg
+
+	emitFig := func(title string, series []harness.Series) {
+		if opt.csv {
+			fmt.Print(harness.SeriesCSV("cap_watts", series))
+		} else {
+			fmt.Print(harness.FormatSeries(title, "cap (W)", series))
+		}
+	}
+
+	switch cmd {
+	case "table1":
+		run1, err := c.Phase1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.Table1(run1, c.Caps))
+	case "table2":
+		runs, err := c.Phase2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.Table2(runs, c.Caps))
+	case "table3":
+		sizes := c.SortedSizes()
+		runs, err := c.RunAll(sizes[len(sizes)-1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.Table3(runs, c.Caps))
+	case "fig1":
+		paths, err := c.RenderFig1(c.PhaseSize, opt.figSize, opt.out)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+	case "fig2a", "fig2b", "fig2c", "fig3":
+		runs, err := c.Phase2()
+		if err != nil {
+			return err
+		}
+		switch cmd {
+		case "fig2a":
+			emitFig("Figure 2a — effective frequency (GHz) vs. power cap", harness.Fig2a(runs, c.Caps))
+		case "fig2b":
+			emitFig("Figure 2b — IPC vs. power cap", harness.Fig2b(runs, c.Caps))
+		case "fig2c":
+			emitFig("Figure 2c — LLC miss rate vs. power cap", harness.Fig2c(runs, c.Caps))
+		case "fig3":
+			emitFig("Figure 3 — elements (M)/sec, cell-centered algorithms", harness.Fig3(runs, c.Caps))
+		}
+	case "fig4", "fig5", "fig6":
+		name := map[string]string{
+			"fig4": "Slice", "fig5": "Volume Rendering", "fig6": "Particle Advection",
+		}[cmd]
+		bySize, err := c.RunsBySize(name)
+		if err != nil {
+			return err
+		}
+		emitFig(fmt.Sprintf("Figure %s — %s IPC vs. power cap by data-set size", cmd[3:], name),
+			harness.FigIPCBySize(bySize, c.SortedSizes(), c.Caps))
+	case "classify", "demand":
+		var runs []*harness.AlgoRun
+		var err error
+		if opt.extended {
+			runs, err = c.RunAllExtended(c.PhaseSize)
+		} else {
+			runs, err = c.Phase2()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.DemandTable(runs))
+	case "arch":
+		rows, err := c.CompareArchitectures(opt.alg, harness.Architectures())
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.ArchTable(opt.alg, rows))
+	case "export":
+		return exportCmd(c, opt)
+	case "cinema":
+		return cinemaCmd(c, opt)
+	case "energy":
+		runs, err := c.Phase2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.EnergyTable(runs, c.Caps))
+	case "verify":
+		claims, err := c.CheckClaims()
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatClaims(claims))
+		if !harness.ClaimsAllPass(claims) {
+			return fmt.Errorf("reproduction claims failed")
+		}
+	case "overprovision":
+		return overprovisionCmd(c, opt)
+	case "feedback":
+		return feedbackCmd(c, opt)
+	case "trace":
+		return traceCmd(c, opt)
+	case "allocate":
+		return allocateCmd(c, opt)
+	case "all":
+		return allCmd(c, opt)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// cinemaCmd renders an orbit image database (the paper's 50-image-per-
+// cycle product) for a rendering algorithm into -out.
+func cinemaCmd(c *harness.Config, opt *options) error {
+	g, err := c.Dataset(c.PhaseSize)
+	if err != nil {
+		return err
+	}
+	db, err := cinema.New(opt.out, "vizpower orbit database", opt.alg)
+	if err != nil {
+		return err
+	}
+	var f viz.Filter
+	switch opt.alg {
+	case "Volume Rendering":
+		f = volren.New(volren.Options{
+			Field: "energy", Images: c.Images,
+			Width: c.ImageSize, Height: c.ImageSize, Sink: db.Sink(),
+		})
+	case "Ray Tracing":
+		f = raytrace.New(raytrace.Options{
+			Field: "energy", Images: c.Images,
+			Width: c.ImageSize, Height: c.ImageSize, Sink: db.Sink(),
+		})
+	default:
+		return fmt.Errorf("cinema: -alg must be %q or %q", "Ray Tracing", "Volume Rendering")
+	}
+	if _, err := f.Run(g, viz.NewExec(c.Pool)); err != nil {
+		return err
+	}
+	if err := db.Finalize(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d images + index.json to %s\n", db.Len(), opt.out)
+	return nil
+}
+
+// overprovisionCmd reproduces the Section III-A machine-room argument: a
+// slab-decomposed visualization job on an overprovisioned cluster, with
+// manufacturing variation, under uniform versus balanced per-node caps.
+func overprovisionCmd(c *harness.Config, opt *options) error {
+	g, err := c.Dataset(c.PhaseSize)
+	if err != nil {
+		return err
+	}
+	f, err := c.FilterByName(opt.alg)
+	if err != nil {
+		return err
+	}
+	const nNodes = 8
+	nodes, err := cluster.BuildNodes(g, f, nNodes, c.Spec, 0.08,
+		func() *viz.Exec { return viz.NewExec(c.Pool) })
+	if err != nil {
+		return err
+	}
+	budget := opt.budget
+	if budget < nNodes*c.Spec.MinCapWatts {
+		budget = nNodes * 55
+	}
+	fmt.Printf("overprovisioned cluster: %d nodes, %s on z-slabs, +-8%% silicon variation,\n"+
+		"machine-room budget %.0f W (%.0f W/node if uniform)\n\n", nNodes, f.Name(), budget, budget/nNodes)
+	uni, err := cluster.UniformCaps(nodes, budget)
+	if err != nil {
+		return err
+	}
+	bal, err := cluster.BalancedCaps(nodes, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %12s %12s %12s\n", "node", "uniform cap", "uniform T", "balanced cap", "balanced T")
+	for i := range nodes {
+		fmt.Printf("%-6d %11.0fW %11.4fs %11.0fW %11.4fs\n",
+			i, uni.CapsWatts[i], uni.TimesSec[i], bal.CapsWatts[i], bal.TimesSec[i])
+	}
+	fmt.Printf("\nmakespan: uniform %.4fs, balanced %.4fs (%.2fx)\n",
+		uni.MakespanSec, bal.MakespanSec, uni.MakespanSec/bal.MakespanSec)
+	fmt.Printf("idle node-seconds: uniform %.4f, balanced %.4f\n", uni.IdleNodeSec, bal.IdleNodeSec)
+	fmt.Printf("trapped capacity under uniform caps: %.1f W of %.0f W budget\n",
+		cluster.TrappedCapacityWatts(nodes, uni, budget), budget)
+	return nil
+}
+
+// feedbackCmd runs the closed-loop GEOPM-style controller over an in situ
+// cycle sequence and reports how it tracked the average-power target.
+func feedbackCmd(c *harness.Config, opt *options) error {
+	sim, err := clover.New(c.PhaseSize/2, clover.Options{})
+	if err != nil {
+		return err
+	}
+	pipe, err := core.NewPipeline(sim, c.Filters()[:2], 10, c.Pool, c.Spec)
+	if err != nil {
+		return err
+	}
+	var segs []cpu.Execution
+	for i := 0; i < opt.cycles; i++ {
+		cr, err := pipe.RunCycle()
+		if err != nil {
+			return err
+		}
+		segs = append(segs, cr.SimExec, cr.VizExec)
+	}
+	pkg := rapl.NewPackage(msr.NewFile(), c.Spec)
+	res, err := core.RunFeedback(pkg, segs, opt.capW, 0, 0.1)
+	if err != nil {
+		return err
+	}
+	if opt.csv {
+		return perfctr.WriteCSV(os.Stdout, res.Samples)
+	}
+	static := 0.0
+	for _, e := range segs {
+		static += e.UnderCap(opt.capW).TimeSec
+	}
+	fmt.Printf("feedback capping: %d segments, target average %.0f W\n", len(segs), opt.capW)
+	fmt.Printf("achieved average %.2f W in %.4fs (static %.0f W cap: %.4fs, %.2fx slower)\n",
+		res.AvgPowerWatts, res.TimeSec, opt.capW, static, static/res.TimeSec)
+	fmt.Printf("controller settled at a %.1f W limit\n", res.FinalCapWatts)
+	return nil
+}
+
+// traceCmd runs the in situ pipeline under a cap and prints the sampled
+// power timeline.
+func traceCmd(c *harness.Config, opt *options) error {
+	sim, err := clover.New(c.PhaseSize/2, clover.Options{})
+	if err != nil {
+		return err
+	}
+	pipe, err := core.NewPipeline(sim, c.Filters(), 10, c.Pool, c.Spec)
+	if err != nil {
+		return err
+	}
+	pkg := rapl.NewPackage(msr.NewFile(), c.Spec)
+	if err := pkg.SetLimitWatts(opt.capW); err != nil {
+		return err
+	}
+	samples, results, err := pipe.Trace(pkg, opt.cycles, 0.1)
+	if err != nil {
+		return err
+	}
+	if opt.csv {
+		return perfctr.WriteCSV(os.Stdout, samples)
+	}
+	fmt.Printf("in situ trace: %d cycles under a %.0f W cap (%d segments, %d samples)\n",
+		opt.cycles, opt.capW, len(results), len(samples))
+	for i, r := range results {
+		phase := "simulate "
+		if i%2 == 1 {
+			phase = "visualize"
+		}
+		fmt.Printf("  segment %2d %s  T=%8.3fs  f=%.2fGHz  P=%6.2fW  E=%8.1fJ\n",
+			i, phase, r.TimeSec, r.FreqGHz, r.PowerWatts, r.EnergyJ)
+	}
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s\n", "t(s)", "P(W)", "f(GHz)", "IPC", "LLCmiss")
+	for _, s := range samples {
+		fmt.Printf("%-10.2f %-10.2f %-10.2f %-10.2f %-10.3f\n",
+			s.TimeSec, s.PowerW, s.EffFreqGHz, s.IPC, s.LLCMissRate)
+	}
+	return nil
+}
+
+// allocateCmd splits a node budget between the simulation and each
+// visualization algorithm, demonstrating the paper's proposed runtime.
+func allocateCmd(c *harness.Config, opt *options) error {
+	sim, err := clover.New(c.PhaseSize/2, clover.Options{})
+	if err != nil {
+		return err
+	}
+	pipe, err := core.NewPipeline(sim, []viz.Filter{c.Filters()[0]}, 10, c.Pool, c.Spec)
+	if err != nil {
+		return err
+	}
+	cr, err := pipe.RunCycle()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("budget %.0f W split between the simulation and each visualization algorithm\n", opt.budget)
+	fmt.Printf("%-22s %10s %10s %12s %10s  %s\n", "Algorithm", "sim (W)", "viz (W)", "speedup", "class", "")
+	g, err := c.Dataset(c.PhaseSize)
+	if err != nil {
+		return err
+	}
+	for _, f := range c.Filters() {
+		ex := viz.NewExec(c.Pool)
+		res, err := f.Run(g, ex)
+		if err != nil {
+			return err
+		}
+		vizExec := cpu.Analyze(c.Spec, res.Profile, 0)
+		a, err := core.AllocateBudget(cr.SimExec, vizExec, opt.budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %10.0f %10.0f %11.2fx %10s\n",
+			f.Name(), a.SimWatts, a.VizWatts, a.Speedup, a.VizClass)
+	}
+	return nil
+}
+
+// allCmd regenerates every artifact into the output directory.
+func allCmd(c *harness.Config, opt *options) error {
+	if err := os.MkdirAll(opt.out, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(opt.out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	run1, err := c.Phase1()
+	if err != nil {
+		return err
+	}
+	if err := write("table1.txt", harness.Table1(run1, c.Caps)); err != nil {
+		return err
+	}
+	runs2, err := c.Phase2()
+	if err != nil {
+		return err
+	}
+	if err := write("table2.txt", harness.Table2(runs2, c.Caps)); err != nil {
+		return err
+	}
+	if err := write("classification.txt", harness.DemandTable(runs2)); err != nil {
+		return err
+	}
+	sizes := c.SortedSizes()
+	runs3, err := c.RunAll(sizes[len(sizes)-1])
+	if err != nil {
+		return err
+	}
+	if err := write("table3.txt", harness.Table3(runs3, c.Caps)); err != nil {
+		return err
+	}
+	type figure struct {
+		name, title, ylabel string
+		series              []harness.Series
+	}
+	figs := []figure{
+		{"fig2a", "Figure 2a — Effective Frequency", "Effective Frequency (GHz)", harness.Fig2a(runs2, c.Caps)},
+		{"fig2b", "Figure 2b — Instructions Per Cycle", "IPC", harness.Fig2b(runs2, c.Caps)},
+		{"fig2c", "Figure 2c — LLC Miss Rate", "Last Level Cache Miss Rate", harness.Fig2c(runs2, c.Caps)},
+		{"fig3", "Figure 3 — Cell-Centered Throughput", "Elements (M)/sec", harness.Fig3(runs2, c.Caps)},
+	}
+	for _, fig := range []struct{ name, alg string }{
+		{"fig4", "Slice"}, {"fig5", "Volume Rendering"}, {"fig6", "Particle Advection"},
+	} {
+		bySize, err := c.RunsBySize(fig.alg)
+		if err != nil {
+			return err
+		}
+		figs = append(figs, figure{
+			fig.name,
+			fmt.Sprintf("Figure %s — %s IPC by Data Set Size", strings.TrimPrefix(fig.name, "fig"), fig.alg),
+			"IPC",
+			harness.FigIPCBySize(bySize, sizes, c.Caps),
+		})
+	}
+	for _, fig := range figs {
+		if err := write(fig.name+".csv", harness.SeriesCSV("cap_watts", fig.series)); err != nil {
+			return err
+		}
+		var svg strings.Builder
+		if err := harness.WriteSVGFigure(&svg, fig.title, fig.ylabel, fig.series); err != nil {
+			return err
+		}
+		if err := write(fig.name+".svg", svg.String()); err != nil {
+			return err
+		}
+	}
+	paths, err := c.RenderFig1(c.PhaseSize, opt.figSize, filepath.Join(opt.out, "fig1"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	// The self-contained campaign report: tables, classification, and
+	// executable claim checks in one document.
+	claims, err := c.CheckClaims()
+	if err != nil {
+		return err
+	}
+	var report strings.Builder
+	if err := c.WriteReport(&report, runs2, runs3, claims); err != nil {
+		return err
+	}
+	if err := write("report.md", report.String()); err != nil {
+		return err
+	}
+	if err := write("energy.txt", harness.EnergyTable(runs2, c.Caps)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exportCmd runs every filter at the phase size and writes the outputs as
+// legacy VTK files (openable in ParaView/VisIt), plus the data set itself.
+func exportCmd(c *harness.Config, opt *options) error {
+	if err := os.MkdirAll(opt.out, 0o755); err != nil {
+		return err
+	}
+	g, err := c.Dataset(c.PhaseSize)
+	if err != nil {
+		return err
+	}
+	writeVTK := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(opt.out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if err := writeVTK("dataset.vtk", func(w io.Writer) error {
+		return vtkio.WriteUniformGrid(w, g, "CloverLeaf-like energy field", "energy")
+	}); err != nil {
+		return err
+	}
+	for _, f := range c.ExtendedFilters() {
+		ex := viz.NewExec(c.Pool)
+		res, err := f.Run(g, ex)
+		if err != nil {
+			return err
+		}
+		slug := strings.ReplaceAll(strings.ToLower(f.Name()), " ", "_")
+		switch {
+		case res.Tris != nil:
+			err = writeVTK(slug+".vtk", func(w io.Writer) error {
+				return vtkio.WriteTriMesh(w, res.Tris, f.Name()+" output", "energy")
+			})
+		case res.Cells != nil:
+			err = writeVTK(slug+".vtk", func(w io.Writer) error {
+				return vtkio.WriteUnstructured(w, res.Cells, f.Name()+" output", "energy")
+			})
+		case res.Lines != nil:
+			err = writeVTK(slug+".vtk", func(w io.Writer) error {
+				return vtkio.WriteLineSet(w, res.Lines, f.Name()+" output", "speed")
+			})
+		default:
+			fmt.Printf("skipped %s (image/reduction output)\n", f.Name())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vizpower <command> [flags]
+commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
+          classify [-extended] arch [-alg NAME] export trace allocate
+          overprovision [-alg NAME -budget W] feedback [-cap W] all
+run "vizpower <command> -h" for flags; add -quick for a fast demonstration`)
+}

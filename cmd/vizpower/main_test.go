@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"table1", "-sizes", "x,y"}); err == nil {
+		t.Error("bad -sizes accepted")
+	}
+	if err := run([]string{"arch", "-quick", "-alg", "Nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"cinema", "-quick", "-alg", "Contour"}); err == nil {
+		t.Error("cinema with a non-rendering algorithm accepted")
+	}
+}
+
+func TestRunQuickCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	// Fast text commands at demonstration scale.
+	for _, args := range [][]string{
+		{"table1", "-quick"},
+		{"energy", "-quick"},
+		{"verify", "-quick"}, // class claims SKIP at this scale, others must pass
+		{"arch", "-quick", "-alg", "Threshold"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunExportWritesVTK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"export", "-quick", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dataset.vtk", "contour.vtk", "threshold.vtk", "particle_advection.vtk"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunCinemaWritesDatabase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"cinema", "-quick", "-alg", "Ray Tracing", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Errorf("missing index.json: %v", err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Power and
+// Performance Tradeoffs for Visualization Algorithms" (Labasan, Larsen,
+// Childs, Rountree — IPDPS 2019): eight shared-memory-parallel scientific
+// visualization algorithms, a CloverLeaf-like hydrodynamics proxy that
+// feeds them in situ, and a register-level simulation of the Intel
+// Broadwell RAPL power-capping and performance-counter stack the paper
+// measured with, plus the full experiment harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// hardware-substitution rationale, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// each table and figure; the cmd/vizpower CLI drives the full campaign.
+package repro

@@ -1,0 +1,119 @@
+// Package cinema writes orbit image databases in the spirit of the Cinema
+// specification from the in situ community: the paper's ray-tracing and
+// volume-rendering workloads each produce "an image database consisting of
+// 50 images per visualization cycle generated from different camera
+// positions around the data set" — this package persists that product as
+// numbered PNG files plus a JSON index mapping each image to its camera
+// parameters, so a post hoc viewer can scrub around the object without
+// re-rendering.
+package cinema
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/render"
+)
+
+// Entry describes one stored image.
+type Entry struct {
+	File       string  `json:"file"`
+	Index      int     `json:"index"`
+	AzimuthRad float64 `json:"azimuth_rad"`
+	Cycle      int     `json:"cycle"`
+}
+
+// Index is the database manifest.
+type Index struct {
+	Name      string  `json:"name"`
+	Algorithm string  `json:"algorithm"`
+	Width     int     `json:"width"`
+	Height    int     `json:"height"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Database accumulates images into a directory.
+type Database struct {
+	dir   string
+	index Index
+	cycle int
+}
+
+// New creates (or reuses) the database directory.
+func New(dir, name, algorithm string) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Database{
+		dir:   dir,
+		index: Index{Name: name, Algorithm: algorithm},
+	}, nil
+}
+
+// Sink returns a function with the signature the render filters accept
+// (raytrace.Options.Sink / volren.Options.Sink); each delivered image is
+// written immediately. Write errors surface at Finalize.
+func (d *Database) Sink() func(index int, azimuthRad float64, im *render.Image) {
+	return func(index int, azimuthRad float64, im *render.Image) {
+		_ = d.Add(index, azimuthRad, im)
+	}
+}
+
+// Add stores one image.
+func (d *Database) Add(index int, azimuthRad float64, im *render.Image) error {
+	name := fmt.Sprintf("c%03d_i%03d.png", d.cycle, index)
+	f, err := os.Create(filepath.Join(d.dir, name))
+	if err != nil {
+		d.index.Entries = append(d.index.Entries, Entry{File: "ERROR:" + err.Error()})
+		return err
+	}
+	if err := im.WritePNG(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d.index.Width == 0 {
+		d.index.Width, d.index.Height = im.W, im.H
+	}
+	d.index.Entries = append(d.index.Entries, Entry{
+		File: name, Index: index, AzimuthRad: azimuthRad, Cycle: d.cycle,
+	})
+	return nil
+}
+
+// NextCycle advances the visualization-cycle tag for subsequent images.
+func (d *Database) NextCycle() { d.cycle++ }
+
+// Len returns the number of stored images.
+func (d *Database) Len() int { return len(d.index.Entries) }
+
+// Finalize writes index.json and reports any image that failed to store.
+func (d *Database) Finalize() error {
+	for _, e := range d.index.Entries {
+		if len(e.File) > 6 && e.File[:6] == "ERROR:" {
+			return fmt.Errorf("cinema: image write failed: %s", e.File[6:])
+		}
+	}
+	data, err := json.MarshalIndent(d.index, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(d.dir, "index.json"), data, 0o644)
+}
+
+// Load reads a database manifest back (for viewers and tests).
+func Load(dir string) (*Index, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, err
+	}
+	var idx Index
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, err
+	}
+	return &idx, nil
+}

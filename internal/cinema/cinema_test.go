@@ -1,0 +1,178 @@
+package cinema
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/render"
+	"repro/internal/viz"
+	"repro/internal/viz/raytrace"
+	"repro/internal/viz/volren"
+)
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "test-db", "Volume Rendering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := render.NewImage(8, 8)
+	im.Fill(render.Color{0.5, 0.2, 0.1, 1})
+	if err := db.Add(0, 0, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(1, math.Pi, im); err != nil {
+		t.Fatal(err)
+	}
+	db.NextCycle()
+	if err := db.Add(0, 0.5, im); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Name != "test-db" || idx.Algorithm != "Volume Rendering" {
+		t.Errorf("manifest = %+v", idx)
+	}
+	if len(idx.Entries) != 3 {
+		t.Fatalf("entries = %d", len(idx.Entries))
+	}
+	if idx.Entries[2].Cycle != 1 {
+		t.Errorf("third entry cycle = %d, want 1", idx.Entries[2].Cycle)
+	}
+	if idx.Width != 8 || idx.Height != 8 {
+		t.Errorf("dimensions = %dx%d", idx.Width, idx.Height)
+	}
+	for _, e := range idx.Entries {
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Errorf("missing image %s: %v", e.File, err)
+		}
+	}
+}
+
+func testGrid(t testing.TB) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.AddPointField("energy")
+	for id := 0; id < g.NumPoints(); id++ {
+		p := g.PointPosition(id)
+		f[id] = p[0] + p[1] + p[2]
+	}
+	return g
+}
+
+func TestSinkCollectsVolrenOrbit(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "orbit", "Volume Rendering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := volren.New(volren.Options{
+		Field: "energy", Images: 5, Width: 12, Height: 12, Sink: db.Sink(),
+	})
+	if _, err := f.Run(testGrid(t), viz.NewExec(par.NewPool(2))); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 5 {
+		t.Fatalf("collected %d images, want 5", db.Len())
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Azimuths are the orbit positions, ascending within the cycle.
+	for i := 1; i < len(idx.Entries); i++ {
+		if idx.Entries[i].AzimuthRad <= idx.Entries[i-1].AzimuthRad {
+			t.Errorf("azimuths not ascending: %v", idx.Entries)
+		}
+	}
+}
+
+func TestSinkCollectsRaytraceOrbit(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "orbit", "Ray Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := raytrace.New(raytrace.Options{
+		Field: "energy", Images: 4, Width: 12, Height: 12, Sink: db.Sink(),
+	})
+	if _, err := f.Run(testGrid(t), viz.NewExec(par.NewPool(2))); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Fatalf("collected %d images, want 4", db.Len())
+	}
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("missing index accepted")
+	}
+}
+
+func TestAddFailsOnUnwritableDir(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "x", "Ray Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory out from under the database.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	im := render.NewImage(4, 4)
+	if err := db.Add(0, 0, im); err == nil {
+		t.Error("Add into a removed directory succeeded")
+	}
+	// The sink swallows the error, but Finalize must surface it.
+	if err := db.Finalize(); err == nil {
+		t.Error("Finalize hid the failed image write")
+	}
+}
+
+func TestSinkErrorSurfacesAtFinalize(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "x", "Ray Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := db.Sink()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	sink(0, 0, render.NewImage(4, 4))
+	if err := db.Finalize(); err == nil {
+		t.Error("Finalize passed despite a failed sink write")
+	}
+}
+
+func TestLoadRejectsCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt index accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package cluster models the hardware-overprovisioned, power-constrained
+// machine room of the paper's Section III-A: more nodes are procured than
+// can run at TDP simultaneously, so a system-wide power budget must be
+// divided into per-node RAPL caps. The section identifies the two reasons
+// a naive uniform cap wastes performance — non-uniform workload
+// distribution (nodes owning the shock region do more visualization work)
+// and manufacturing variation (identical parts draw different power for
+// the same work, Marathe et al.) — and argues for assigning power "to the
+// nodes where it is needed most". This package reproduces that argument:
+// slab-decompose the data set, give each node its share and a varied
+// processor, and compare the uniform policy against a balanced assignment
+// that minimizes the slowest node's time.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/mesh"
+	"repro/internal/viz"
+)
+
+// Node is one overprovisioned node: its (possibly process-varied)
+// processor and the analyzed execution of its share of the work.
+type Node struct {
+	ID   int
+	Spec cpu.Spec
+	Exec cpu.Execution
+}
+
+// VarySpec applies deterministic manufacturing variation to a processor:
+// node id's dynamic and leakage power scale by up to ±amplitude
+// (Marathe et al. measured roughly ±10% across "identical" Intel parts).
+// The pseudo-random factor is a fixed hash of the id, so experiments are
+// reproducible.
+func VarySpec(base cpu.Spec, id int, amplitude float64) cpu.Spec {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	// SplitMix64-style hash of the id onto [-1, 1].
+	z := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	u := float64(z>>11) / float64(1<<53) // [0,1)
+	f := 1 + amplitude*(2*u-1)
+	out := base
+	out.CdynWatts *= f
+	out.CoreLeakWatts *= f
+	out.Name = fmt.Sprintf("%s [node %d, x%.3f]", base.Name, id, f)
+	return out
+}
+
+// BuildNodes slab-decomposes the grid across n nodes, runs the filter on
+// each node's slab, and analyzes each profile on that node's varied
+// processor. The returned nodes carry the (generally imbalanced) work.
+func BuildNodes(g *mesh.UniformGrid, filter viz.Filter, n int, base cpu.Spec, variation float64, makeExec func() *viz.Exec) ([]Node, error) {
+	slabs, err := mesh.SlabDecompose(g, n)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]Node, n)
+	for i, slab := range slabs {
+		ex := makeExec()
+		res, err := filter.Run(slab, ex)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		spec := VarySpec(base, i, variation)
+		nodes[i] = Node{ID: i, Spec: spec, Exec: cpu.Analyze(spec, res.Profile, 0)}
+	}
+	return nodes, nil
+}
+
+// Assignment is a division of the machine-room budget into per-node caps.
+type Assignment struct {
+	// CapsWatts is the per-node limit, in node order.
+	CapsWatts []float64
+	// TimesSec is each node's governed time under its cap.
+	TimesSec []float64
+	// MakespanSec is the slowest node (the job completes when the last
+	// node does — the paper's "nodes with lots of work determine the
+	// overall performance").
+	MakespanSec float64
+	// IdleNodeSec is the total node-seconds spent waiting on the slowest
+	// node ("nodes with little work finish early and sit idle").
+	IdleNodeSec float64
+}
+
+func summarize(nodes []Node, caps []float64) Assignment {
+	a := Assignment{CapsWatts: caps}
+	for i, n := range nodes {
+		t := n.Exec.UnderCap(caps[i]).TimeSec
+		a.TimesSec = append(a.TimesSec, t)
+		if t > a.MakespanSec {
+			a.MakespanSec = t
+		}
+	}
+	for _, t := range a.TimesSec {
+		a.IdleNodeSec += a.MakespanSec - t
+	}
+	return a
+}
+
+// UniformCaps applies the naive strategy: every node gets budget/n watts
+// (clamped to the enforceable floor).
+func UniformCaps(nodes []Node, budgetWatts float64) (Assignment, error) {
+	n := len(nodes)
+	if n == 0 {
+		return Assignment{}, fmt.Errorf("cluster: no nodes")
+	}
+	per := budgetWatts / float64(n)
+	caps := make([]float64, n)
+	for i, node := range nodes {
+		if per < node.Spec.MinCapWatts {
+			return Assignment{}, fmt.Errorf("cluster: uniform share %.1f W below node %d floor %.1f W",
+				per, i, node.Spec.MinCapWatts)
+		}
+		caps[i] = per
+	}
+	return summarize(nodes, caps), nil
+}
+
+// minCapForTime returns the smallest grid cap (1 W resolution) at which
+// the node finishes within target seconds, or +Inf if none does.
+func minCapForTime(n Node, target float64) float64 {
+	lo := n.Spec.MinCapWatts
+	hi := n.Spec.TDPWatts
+	if n.Exec.UnderCap(hi).TimeSec > target {
+		return math.Inf(1)
+	}
+	// Binary search over integer watts (UnderCap time is monotone
+	// non-increasing in the cap).
+	loW, hiW := int(lo), int(hi)
+	for loW < hiW {
+		mid := (loW + hiW) / 2
+		if n.Exec.UnderCap(float64(mid)).TimeSec <= target {
+			hiW = mid
+		} else {
+			loW = mid + 1
+		}
+	}
+	return float64(hiW)
+}
+
+// BalancedCaps assigns power to the nodes where it is needed most: it
+// finds (by bisection on the makespan) the smallest completion time whose
+// per-node minimum caps fit the budget, then spreads any leftover watts
+// evenly. Nodes with little work or efficient silicon get starved; the
+// critical nodes get the headroom.
+func BalancedCaps(nodes []Node, budgetWatts float64) (Assignment, error) {
+	n := len(nodes)
+	if n == 0 {
+		return Assignment{}, fmt.Errorf("cluster: no nodes")
+	}
+	var floorSum float64
+	for _, node := range nodes {
+		floorSum += node.Spec.MinCapWatts
+	}
+	if budgetWatts < floorSum {
+		return Assignment{}, fmt.Errorf("cluster: budget %.0f W below the %.0f W sum of node floors",
+			budgetWatts, floorSum)
+	}
+	// Feasible makespan range.
+	loT, hiT := math.Inf(1), 0.0
+	for _, node := range nodes {
+		tFast := node.Exec.UnderCap(node.Spec.TDPWatts).TimeSec
+		tSlow := node.Exec.UnderCap(node.Spec.MinCapWatts).TimeSec
+		loT = math.Min(loT, tFast)
+		hiT = math.Max(hiT, tSlow)
+	}
+	fits := func(target float64) ([]float64, bool) {
+		caps := make([]float64, n)
+		total := 0.0
+		for i, node := range nodes {
+			c := minCapForTime(node, target)
+			if math.IsInf(c, 1) {
+				return nil, false
+			}
+			caps[i] = c
+			total += c
+		}
+		return caps, total <= budgetWatts
+	}
+	// Bisect the makespan.
+	best, ok := fits(hiT)
+	if !ok {
+		// Even the slowest target does not fit (caps are at floors and
+		// still exceed the budget) — cannot happen past the floor check.
+		return Assignment{}, fmt.Errorf("cluster: no feasible assignment")
+	}
+	lo, hi := loT, hiT
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if caps, ok := fits(mid); ok {
+			best = caps
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Spread leftover watts evenly without exceeding TDPs.
+	total := 0.0
+	for _, c := range best {
+		total += c
+	}
+	leftover := budgetWatts - total
+	for leftover > 1e-9 {
+		gave := false
+		share := leftover / float64(n)
+		for i, node := range nodes {
+			room := node.Spec.TDPWatts - best[i]
+			give := math.Min(room, share)
+			if give > 0 {
+				best[i] += give
+				leftover -= give
+				gave = true
+			}
+		}
+		if !gave {
+			break
+		}
+	}
+	return summarize(nodes, best), nil
+}
+
+// TrappedCapacityWatts is the §III-A "trapped capacity" diagnostic: the
+// power an assignment leaves unused because idle-early nodes cannot give
+// their watts to the critical ones — the budget minus the sum of actual
+// consumed powers, integrated over the makespan.
+func TrappedCapacityWatts(nodes []Node, a Assignment, budgetWatts float64) float64 {
+	if a.MakespanSec <= 0 {
+		return 0
+	}
+	var energy float64
+	for i, node := range nodes {
+		r := node.Exec.UnderCap(a.CapsWatts[i])
+		// While running it draws its governed power; after finishing it
+		// idles at the uncore + leakage floor.
+		idleW := node.Spec.UncoreWatts + float64(node.Spec.Cores)*node.Spec.CoreLeakWatts*0.5
+		energy += r.PowerWatts*r.TimeSec + idleW*(a.MakespanSec-r.TimeSec)
+	}
+	return budgetWatts - energy/a.MakespanSec
+}

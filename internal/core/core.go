@@ -1,0 +1,221 @@
+// Package core is the top of the reproduction stack: the in situ
+// pipeline that tightly couples the CloverLeaf-like simulation with the
+// visualization filters (the Ascent role in the paper), the
+// power-opportunity / power-sensitive classification of Section VI-B,
+// and the runtime power allocator the paper motivates — a component that
+// splits a node power budget between a simulation and a visualization
+// running concurrently so that overall performance is maximized.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/par"
+	"repro/internal/perfctr"
+	"repro/internal/rapl"
+	"repro/internal/sim/clover"
+	"repro/internal/viz"
+)
+
+// Class is the paper's two-way classification of visualization
+// algorithms under power caps.
+type Class int
+
+const (
+	// PowerOpportunity algorithms are data-bound: capping them deeply
+	// costs little time, so their power can be given away.
+	PowerOpportunity Class = iota
+	// PowerSensitive algorithms are compute-bound: their runtime
+	// degrades roughly with the cap.
+	PowerSensitive
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	if c == PowerSensitive {
+		return "power sensitive"
+	}
+	return "power opportunity"
+}
+
+// SensitiveCapWatts is the classification boundary: the paper's sensitive
+// algorithms (volume rendering, particle advection) first slow down 10%
+// at 70–80 W, while the opportunity class holds until Pratio >= 2
+// (<= 60 W).
+const SensitiveCapWatts = 70
+
+// Classify applies the Section VI-B rule to a run's cap sweep: an
+// algorithm whose first 10% slowdown appears at SensitiveCapWatts or
+// above is power sensitive; otherwise it offers power opportunity.
+func Classify(base cpu.CapResult, byCap []cpu.CapResult) Class {
+	if metrics.FirstSlowdownCap(base, byCap) >= SensitiveCapWatts {
+		return PowerSensitive
+	}
+	return PowerOpportunity
+}
+
+// Pipeline is a tightly-coupled in situ loop: the simulation and the
+// visualization alternate on the same resources (Section IV-A), with
+// both sides instrumented.
+type Pipeline struct {
+	Sim           *clover.Sim
+	Filters       []viz.Filter
+	StepsPerCycle int
+	Pool          *par.Pool
+	Spec          cpu.Spec
+	cycle         int
+}
+
+// NewPipeline couples a simulation with filters. steps is the number of
+// hydro steps between visualization cycles.
+func NewPipeline(sim *clover.Sim, filters []viz.Filter, steps int, pool *par.Pool, spec cpu.Spec) (*Pipeline, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("core: nil simulation")
+	}
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("core: no filters")
+	}
+	if steps <= 0 {
+		steps = 10
+	}
+	if pool == nil {
+		pool = par.Default()
+	}
+	if spec.Cores == 0 {
+		spec = cpu.BroadwellEP()
+	}
+	return &Pipeline{Sim: sim, Filters: filters, StepsPerCycle: steps, Pool: pool, Spec: spec}, nil
+}
+
+// CycleResult summarizes one simulate→visualize cycle: the instrumented
+// profiles and their processor-model analyses for each phase.
+type CycleResult struct {
+	Cycle      int
+	SimProfile ops.Profile
+	VizProfile ops.Profile
+	SimExec    cpu.Execution
+	VizExec    cpu.Execution
+}
+
+// RunCycle advances the simulation StepsPerCycle steps, exports the grid,
+// and runs every filter on it.
+func (p *Pipeline) RunCycle() (*CycleResult, error) {
+	recs := make([]ops.Recorder, p.Pool.Workers())
+	for i := 0; i < p.StepsPerCycle; i++ {
+		p.Sim.Step(p.Pool, recs)
+	}
+	simProfile := ops.DrainAll(recs)
+
+	g, err := p.Sim.Grid()
+	if err != nil {
+		return nil, err
+	}
+	ex := viz.NewExec(p.Pool)
+	var vizProfile ops.Profile
+	for _, f := range p.Filters {
+		res, err := f.Run(g, ex)
+		if err != nil {
+			return nil, fmt.Errorf("core: cycle %d: %w", p.cycle, err)
+		}
+		// Filters drain the exec recorders into their result profile.
+		vizProfile.Add(res.Profile)
+	}
+
+	p.cycle++
+	return &CycleResult{
+		Cycle:      p.cycle,
+		SimProfile: simProfile,
+		VizProfile: vizProfile,
+		SimExec:    cpu.Analyze(p.Spec, simProfile, 0),
+		VizExec:    cpu.Analyze(p.Spec, vizProfile, 0),
+	}, nil
+}
+
+// Trace runs cycles of the pipeline under the RAPL limit programmed on
+// pkg and returns the sampled power/counter timeline (alternating
+// simulation and visualization segments) plus the per-segment governed
+// results, even-indexed segments being simulation phases.
+func (p *Pipeline) Trace(pkg *rapl.Package, cycles int, interval float64) ([]perfctr.Sample, []cpu.CapResult, error) {
+	var segs []cpu.Execution
+	for i := 0; i < cycles; i++ {
+		cr, err := p.RunCycle()
+		if err != nil {
+			return nil, nil, err
+		}
+		segs = append(segs, cr.SimExec, cr.VizExec)
+	}
+	return perfctr.Trace(pkg, segs, interval)
+}
+
+// Allocation is the outcome of splitting a node power budget between a
+// simulation and a visualization that run concurrently (one per socket,
+// as in the paper's future runtime): the chosen per-side caps, the
+// resulting cycle time (the slower side), the naive even-split time, and
+// the speedup the informed split achieves.
+type Allocation struct {
+	SimWatts, VizWatts float64
+	TimeSec            float64
+	NaiveTimeSec       float64
+	Speedup            float64
+	VizClass           Class
+}
+
+// AllocateBudget chooses the split of budget watts between the simulation
+// and visualization executions that minimizes the concurrent cycle time
+// max(Tsim(Wsim), Tviz(Wviz)), searching the RAPL-enforceable range in
+// 1 W steps. This is the paper's "assign power to the nodes (phases)
+// where it is needed most" applied to the sim/viz pair: a
+// power-opportunity visualization is starved to its floor with almost no
+// cost, freeing the rest of the budget for the simulation.
+func AllocateBudget(sim, vis cpu.Execution, budget float64) (Allocation, error) {
+	spec := sim.Spec
+	minW := spec.MinCapWatts
+	if budget < 2*minW {
+		return Allocation{}, fmt.Errorf("core: budget %.0f W below twice the %.0f W cap floor", budget, minW)
+	}
+	best := Allocation{TimeSec: -1}
+	half := budget / 2
+	for w := minW; w <= budget-minW+1e-9; w++ {
+		ts := sim.UnderCap(w).TimeSec
+		tv := vis.UnderCap(budget - w).TimeSec
+		t := ts
+		if tv > t {
+			t = tv
+		}
+		// Strictly better wins; among (numerically) tied splits, prefer
+		// the one closest to even — the governed frequency ladder makes
+		// the objective flat wherever neither side is throttled.
+		better := best.TimeSec < 0 || t < best.TimeSec*(1-1e-12)-1e-15
+		tied := best.TimeSec >= 0 && !better && t <= best.TimeSec*(1+1e-12)+1e-15
+		if better || (tied && abs(w-half) < abs(best.SimWatts-half)) {
+			best.TimeSec = t
+			best.SimWatts = w
+			best.VizWatts = budget - w
+		}
+	}
+	tn := sim.UnderCap(half).TimeSec
+	if tv := vis.UnderCap(half).TimeSec; tv > tn {
+		tn = tv
+	}
+	best.NaiveTimeSec = tn
+	if best.TimeSec > 0 {
+		best.Speedup = tn / best.TimeSec
+	}
+	// Classify the visualization side for reporting.
+	var byCap []cpu.CapResult
+	for w := spec.TDPWatts; w >= minW; w -= 10 {
+		byCap = append(byCap, vis.UnderCap(w))
+	}
+	best.VizClass = Classify(vis.UnderCap(spec.TDPWatts), byCap)
+	return best, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/perfctr"
+	"repro/internal/rapl"
+)
+
+// FeedbackResult is the outcome of a closed-loop capping run.
+type FeedbackResult struct {
+	// Samples is the 100 ms measurement timeline.
+	Samples []perfctr.Sample
+	// TimeSec is the total virtual time to complete all segments.
+	TimeSec float64
+	// AvgPowerWatts is the achieved job-average power.
+	AvgPowerWatts float64
+	// FinalCapWatts is where the controller settled.
+	FinalCapWatts float64
+}
+
+// RunFeedback runs the segments under a GEOPM-style integral controller:
+// instead of a static RAPL limit, the runtime samples the energy counter
+// every interval seconds and nudges the limit so the *job-average* power
+// tracks targetAvgW. Data-bound phases that cannot use their allowance
+// automatically donate headroom to later compute-bound phases — the
+// dynamic reallocation the paper's Section VII proposes, implemented over
+// the same register-level substrate as the static experiments.
+//
+// gain is the controller step in watts of cap per watt of average-power
+// error (0 selects 0.5). The controller clamps to the enforceable range.
+func RunFeedback(pkg *rapl.Package, segs []cpu.Execution, targetAvgW, gain, interval float64) (FeedbackResult, error) {
+	spec := pkg.Spec()
+	if targetAvgW < spec.MinCapWatts {
+		return FeedbackResult{}, fmt.Errorf("core: target %.0f W below the %.0f W cap floor", targetAvgW, spec.MinCapWatts)
+	}
+	if gain <= 0 {
+		gain = 0.5
+	}
+	if interval <= 0 {
+		interval = perfctr.DefaultInterval
+	}
+	file := pkg.File()
+	ctrs := perfctr.NewCounters(file, spec)
+	sampler := perfctr.NewSampler(msr.Open(file, msr.StudyAllowlist()), spec)
+	if err := sampler.ProgramLLCEvents(); err != nil {
+		return FeedbackResult{}, err
+	}
+	if err := sampler.Prime(0); err != nil {
+		return FeedbackResult{}, err
+	}
+	if err := pkg.SetLimitWatts(targetAvgW); err != nil {
+		return FeedbackResult{}, err
+	}
+
+	var out FeedbackResult
+	now := 0.0
+	totalEnergy := 0.0
+	capW := targetAvgW
+	const maxTicks = 1_000_000
+	for _, e := range segs {
+		progress := 0.0
+		for tick := 0; progress < 1-1e-12; tick++ {
+			if tick > maxTicks {
+				return FeedbackResult{}, fmt.Errorf("core: feedback run exceeded %d ticks", maxTicks)
+			}
+			r := pkg.Govern(e)
+			if r.TimeSec <= 0 {
+				break
+			}
+			// Run to the next sampling boundary or segment end.
+			remaining := (1 - progress) * r.TimeSec
+			dt := math.Min(interval, remaining)
+			frac := dt / r.TimeSec
+			progress += frac
+			pkg.AccumulateEnergy(r.PowerWatts * dt)
+			totalEnergy += r.PowerWatts * dt
+			ctrs.Advance(dt, r.FreqGHz,
+				float64(e.Instructions)*frac,
+				float64(e.LLCRefs)*frac,
+				float64(e.LLCMisses)*frac)
+			now += dt
+			s, err := sampler.Sample(now)
+			if err != nil {
+				return FeedbackResult{}, err
+			}
+			out.Samples = append(out.Samples, s)
+			// Integral control on the job-average power.
+			avg := totalEnergy / now
+			capW += gain * (targetAvgW - avg)
+			capW = math.Max(spec.MinCapWatts, math.Min(spec.TDPWatts, capW))
+			if err := pkg.SetLimitWatts(capW); err != nil {
+				return FeedbackResult{}, err
+			}
+		}
+	}
+	out.TimeSec = now
+	if now > 0 {
+		out.AvgPowerWatts = totalEnergy / now
+	}
+	out.FinalCapWatts = capW
+	return out, nil
+}

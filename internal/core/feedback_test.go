@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/rapl"
+)
+
+func newRAPL() *rapl.Package {
+	return rapl.NewPackage(msr.NewFile(), cpu.BroadwellEP())
+}
+
+func TestFeedbackTracksTarget(t *testing.T) {
+	// Alternating hot and cold phases, several cycles: the controller
+	// must hold the job-average power near the target even though no
+	// static cap does.
+	hot := computeExec()
+	cold := memoryExec()
+	segs := []cpu.Execution{hot, cold, hot, cold, hot, cold}
+	target := 65.0
+	res, err := RunFeedback(newRAPL(), segs, target, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgPowerWatts-target) > 0.08*target {
+		t.Errorf("achieved average %.2f W, want within 8%% of %.0f W", res.AvgPowerWatts, target)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestFeedbackBeatsStaticCapOnTime(t *testing.T) {
+	hot := computeExec()
+	cold := memoryExec()
+	segs := []cpu.Execution{hot, cold, hot, cold, hot, cold}
+	target := 65.0
+	res, err := RunFeedback(newRAPL(), segs, target, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static policy: every segment capped at the target.
+	static := 0.0
+	for _, e := range segs {
+		static += e.UnderCap(target).TimeSec
+	}
+	if res.TimeSec > static+1e-9 {
+		t.Errorf("feedback time %.4fs worse than static cap %.4fs", res.TimeSec, static)
+	}
+}
+
+func TestFeedbackGenerousTargetNeverThrottles(t *testing.T) {
+	segs := []cpu.Execution{memoryExec()}
+	res, err := RunFeedback(newRAPL(), segs, 120, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := segs[0].UnderCap(120).TimeSec
+	if math.Abs(res.TimeSec-free) > 0.01*free {
+		t.Errorf("generous target time %.4fs, want unconstrained %.4fs", res.TimeSec, free)
+	}
+}
+
+func TestFeedbackRejectsTargetBelowFloor(t *testing.T) {
+	if _, err := RunFeedback(newRAPL(), []cpu.Execution{computeExec()}, 20, 0, 0.01); err == nil {
+		t.Error("target below floor accepted")
+	}
+}
+
+func TestFeedbackEnergyAccounting(t *testing.T) {
+	segs := []cpu.Execution{computeExec()}
+	res, err := RunFeedback(newRAPL(), segs, 80, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampled float64
+	for _, s := range res.Samples {
+		sampled += s.EnergyJ
+	}
+	want := res.AvgPowerWatts * res.TimeSec
+	if math.Abs(sampled-want) > 0.02*want+0.01 {
+		t.Errorf("sampled energy %.2f J vs accounted %.2f J", sampled, want)
+	}
+}

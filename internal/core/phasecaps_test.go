@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ops"
+)
+
+// vizLight is a short, data-bound visualization phase (~15% of the cycle).
+func vizLight() cpu.Execution {
+	var p ops.Profile
+	p.Flops = 1e8
+	p.LoadBytes[ops.Stream] = 6e9
+	p.WorkingSetBytes = 140 << 20
+	p.Launches = 2
+	return cpu.Analyze(cpu.BroadwellEP(), p, 0)
+}
+
+func TestPlanPhaseCapsBeatsUniform(t *testing.T) {
+	sim := computeExec()
+	vis := vizLight()
+	plan, err := PlanPhaseCaps(sim, vis, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AvgPowerWatts > 70+1e-6 {
+		t.Errorf("planned average power %.2f exceeds the 70 W budget", plan.AvgPowerWatts)
+	}
+	if plan.CycleTimeSec > plan.UniformTimeSec+1e-12 {
+		t.Errorf("planned cycle %.4fs slower than the uniform cap %.4fs", plan.CycleTimeSec, plan.UniformTimeSec)
+	}
+	if plan.Speedup < 1 {
+		t.Errorf("speedup = %v, want >= 1", plan.Speedup)
+	}
+	// The mechanism: the data-bound visualization phase is capped below
+	// the budget and the simulation phase above it.
+	if plan.VizCapWatts > 70 {
+		t.Errorf("viz phase cap %.0f W, expected at or below the budget", plan.VizCapWatts)
+	}
+	if plan.SimCapWatts <= 70 {
+		t.Errorf("sim phase cap %.0f W, expected banked headroom above the budget", plan.SimCapWatts)
+	}
+}
+
+func TestPlanPhaseCapsRejectsImpossibleBudget(t *testing.T) {
+	if _, err := PlanPhaseCaps(computeExec(), vizLight(), 20); err == nil {
+		t.Error("budget below the cap floor accepted")
+	}
+}
+
+func TestPlanPhaseCapsGenerousBudgetIsFree(t *testing.T) {
+	// With the budget at TDP nothing throttles; the plan matches the
+	// unconstrained cycle time.
+	sim := computeExec()
+	vis := vizLight()
+	plan, err := PlanPhaseCaps(sim, vis, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := sim.UnderCap(120).TimeSec + vis.UnderCap(120).TimeSec
+	if plan.CycleTimeSec > free+1e-12 {
+		t.Errorf("plan %.4fs worse than unconstrained %.4fs", plan.CycleTimeSec, free)
+	}
+	if plan.Speedup < 0.999 {
+		t.Errorf("speedup %v under a generous budget", plan.Speedup)
+	}
+}
+
+func TestPlanPhaseCapsAverageIdentity(t *testing.T) {
+	// The reported average power must equal total energy over total time
+	// of the governed phases.
+	sim := computeExec()
+	vis := vizLight()
+	plan, err := PlanPhaseCaps(sim, vis, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sim.UnderCap(plan.SimCapWatts)
+	rv := vis.UnderCap(plan.VizCapWatts)
+	want := (rs.EnergyJ + rv.EnergyJ) / (rs.TimeSec + rv.TimeSec)
+	if diff := plan.AvgPowerWatts - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AvgPowerWatts = %v, want %v", plan.AvgPowerWatts, want)
+	}
+}

@@ -1,0 +1,31 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/ops"
+)
+
+// Example walks the core model flow: an instrumented kernel's operation
+// profile becomes an Execution, and the RAPL governor evaluates it under
+// a cap. A streaming, memory-bound profile barely slows at 60 W — the
+// paper's power-opportunity behavior.
+func Example() {
+	var p ops.Profile
+	p.Flops = 4e8
+	p.LoadBytes[ops.Stream] = 24e9
+	p.WorkingSetBytes = 140 << 20
+	p.Launches = 4
+
+	exec := cpu.Analyze(cpu.BroadwellEP(), p, 0)
+	base := exec.UnderCap(120)
+	capped := exec.UnderCap(60)
+	fmt.Printf("demand %.0f W\n", exec.Demand().PowerWatts)
+	fmt.Printf("slowdown at 60 W: %.2fX\n", capped.TimeSec/base.TimeSec)
+	fmt.Printf("throttled: %v\n", capped.Throttled)
+	// Output:
+	// demand 59 W
+	// slowdown at 60 W: 1.00X
+	// throttled: false
+}

@@ -1,0 +1,344 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ops"
+)
+
+// computeBound builds a profile shaped like the paper's power-sensitive
+// class (volume rendering, particle advection): flop-heavy, cache-resident.
+func computeBound() ops.Profile {
+	var p ops.Profile
+	p.Flops = 8e9
+	p.IntOps = 1e9
+	p.Branches = 5e8
+	p.LoadBytes[ops.Resident] = 16e9
+	p.StoreBytes[ops.Stream] = 2e8
+	p.WorkingSetBytes = 16 << 20 // fits in LLC
+	p.Launches = 4
+	return p
+}
+
+// memoryBound builds a profile shaped like the paper's power-opportunity
+// class (threshold, contour): streaming traffic, few flops.
+func memoryBound() ops.Profile {
+	var p ops.Profile
+	p.Flops = 4e8
+	p.IntOps = 6e8
+	p.Branches = 4e8
+	p.LoadBytes[ops.Stream] = 24e9
+	p.LoadBytes[ops.Strided] = 6e9
+	p.StoreBytes[ops.Stream] = 4e9
+	p.WorkingSetBytes = 140 << 20 // overflows LLC
+	p.Launches = 4
+	return p
+}
+
+func TestBroadwellSpecBasics(t *testing.T) {
+	s := BroadwellEP()
+	if s.Cores != 18 || s.TDPWatts != 120 || s.MinCapWatts != 40 {
+		t.Errorf("spec = %+v", s)
+	}
+	ladder := s.FreqLadder()
+	if len(ladder) == 0 {
+		t.Fatal("empty frequency ladder")
+	}
+	if ladder[0] != s.MinGHz {
+		t.Errorf("ladder starts at %v, want %v", ladder[0], s.MinGHz)
+	}
+	top := ladder[len(ladder)-1]
+	if math.Abs(top-s.AllCoreTurboGHz) > 1e-9 {
+		t.Errorf("ladder tops at %v, want %v", top, s.AllCoreTurboGHz)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Fatalf("ladder not ascending at %d: %v", i, ladder)
+		}
+	}
+}
+
+func TestAnalyzeDefaultsThreads(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, computeBound(), 0)
+	if e.Threads != s.Cores {
+		t.Errorf("Threads = %d, want %d", e.Threads, s.Cores)
+	}
+}
+
+func TestTimeDecreasesWithFrequency(t *testing.T) {
+	s := BroadwellEP()
+	for name, p := range map[string]ops.Profile{"compute": computeBound(), "memory": memoryBound()} {
+		e := Analyze(s, p, 0)
+		prev := math.Inf(1)
+		for _, f := range s.FreqLadder() {
+			tt := e.TimeAt(f)
+			if tt > prev+1e-12 {
+				t.Errorf("%s: TimeAt(%v) = %v > TimeAt(prev) = %v", name, f, tt, prev)
+			}
+			prev = tt
+		}
+	}
+}
+
+func TestPowerIncreasesWithFrequency(t *testing.T) {
+	s := BroadwellEP()
+	for name, p := range map[string]ops.Profile{"compute": computeBound(), "memory": memoryBound()} {
+		e := Analyze(s, p, 0)
+		prev := 0.0
+		for _, f := range s.FreqLadder() {
+			pw := e.PowerAt(f)
+			if pw <= prev {
+				t.Errorf("%s: PowerAt(%v) = %v <= PowerAt(prev) = %v", name, f, pw, prev)
+			}
+			prev = pw
+		}
+	}
+}
+
+func TestComputeBoundScalesWithFrequency(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, computeBound(), 0)
+	tHi := e.TimeAt(2.6)
+	tLo := e.TimeAt(1.3)
+	ratio := tLo / tHi
+	// A compute-bound run at half frequency should take nearly twice as
+	// long.
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Errorf("compute-bound slowdown at half frequency = %.3f, want ~2", ratio)
+	}
+}
+
+func TestMemoryBoundInsensitiveToFrequency(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, memoryBound(), 0)
+	tHi := e.TimeAt(2.6)
+	tLo := e.TimeAt(1.8)
+	ratio := tLo / tHi
+	// The paper's power-opportunity class: a 31% frequency drop costs
+	// well under 10%.
+	if ratio > 1.10 {
+		t.Errorf("memory-bound slowdown at 1.8GHz = %.3f, want < 1.10", ratio)
+	}
+}
+
+func TestDemandPowerSeparatesClasses(t *testing.T) {
+	s := BroadwellEP()
+	dc := Analyze(s, computeBound(), 0).Demand()
+	dm := Analyze(s, memoryBound(), 0).Demand()
+	if dc.PowerWatts <= dm.PowerWatts {
+		t.Errorf("compute demand %v W <= memory demand %v W", dc.PowerWatts, dm.PowerWatts)
+	}
+	// Calibration targets from the paper: sensitive algorithms draw
+	// ~85 W per processor, opportunity algorithms ~55-70 W, all below
+	// the 120 W TDP.
+	if dc.PowerWatts < 75 || dc.PowerWatts > 110 {
+		t.Errorf("compute-bound demand %v W outside [75, 110]", dc.PowerWatts)
+	}
+	if dm.PowerWatts < 40 || dm.PowerWatts > 75 {
+		t.Errorf("memory-bound demand %v W outside [40, 75]", dm.PowerWatts)
+	}
+}
+
+func TestUnderCapMonotone(t *testing.T) {
+	s := BroadwellEP()
+	for name, p := range map[string]ops.Profile{"compute": computeBound(), "memory": memoryBound()} {
+		e := Analyze(s, p, 0)
+		prevF, prevT := 0.0, math.Inf(1)
+		for cap := s.MinCapWatts; cap <= s.TDPWatts; cap += 10 {
+			r := e.UnderCap(cap)
+			if r.FreqGHz < prevF-1e-9 {
+				t.Errorf("%s: freq decreased when cap rose to %v W", name, cap)
+			}
+			if r.TimeSec > prevT+1e-12 {
+				t.Errorf("%s: time increased when cap rose to %v W", name, cap)
+			}
+			if r.PowerWatts > cap+1e-9 && r.FreqGHz > s.MinGHz+1e-9 {
+				t.Errorf("%s: power %v exceeds cap %v without hitting the floor", name, r.PowerWatts, cap)
+			}
+			prevF, prevT = r.FreqGHz, r.TimeSec
+		}
+	}
+}
+
+func TestUnderCapClampsToFloor(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, computeBound(), 0)
+	r := e.UnderCap(10) // below the 40 W enforceable floor
+	if r.CapWatts != s.MinCapWatts {
+		t.Errorf("CapWatts = %v, want clamped to %v", r.CapWatts, s.MinCapWatts)
+	}
+}
+
+func TestThrottlePointsMatchPaperShape(t *testing.T) {
+	s := BroadwellEP()
+	ec := Analyze(s, computeBound(), 0)
+	em := Analyze(s, memoryBound(), 0)
+
+	firstSlow := func(e Execution) float64 {
+		t0 := e.UnderCap(s.TDPWatts).TimeSec
+		for cap := s.TDPWatts; cap >= s.MinCapWatts; cap -= 10 {
+			if e.UnderCap(cap).TimeSec/t0 >= 1.10 {
+				return cap
+			}
+		}
+		return 0
+	}
+	cSlow := firstSlow(ec)
+	mSlow := firstSlow(em)
+	// Paper: power-sensitive algorithms hit 10% slowdown at 70-80 W;
+	// power-opportunity algorithms not until <= 60 W (often only 40 W).
+	if cSlow < 60 || cSlow > 90 {
+		t.Errorf("compute-bound first 10%% slowdown at %v W, want 60-90", cSlow)
+	}
+	if mSlow > 50 {
+		t.Errorf("memory-bound first 10%% slowdown at %v W, want <= 50", mSlow)
+	}
+	if cSlow <= mSlow {
+		t.Errorf("compute-bound should throttle before memory-bound (%v vs %v)", cSlow, mSlow)
+	}
+}
+
+func TestIPCSeparatesClasses(t *testing.T) {
+	s := BroadwellEP()
+	ipcC := Analyze(s, computeBound(), 0).Demand().IPC
+	ipcM := Analyze(s, memoryBound(), 0).Demand().IPC
+	if ipcC <= 1.0 {
+		t.Errorf("compute-bound IPC = %.2f, want > 1 (paper Fig. 2b divide)", ipcC)
+	}
+	if ipcM >= 1.0 {
+		t.Errorf("memory-bound IPC = %.2f, want < 1", ipcM)
+	}
+}
+
+func TestMissRateSeparatesClasses(t *testing.T) {
+	s := BroadwellEP()
+	mC := Analyze(s, computeBound(), 0).LLCMissRate()
+	mM := Analyze(s, memoryBound(), 0).LLCMissRate()
+	if mC >= mM {
+		t.Errorf("compute-bound miss rate %.3f >= memory-bound %.3f", mC, mM)
+	}
+	if mC > 0.15 {
+		t.Errorf("resident-heavy miss rate = %.3f, want small", mC)
+	}
+	if mM < 0.2 || mM > 0.8 {
+		t.Errorf("streaming miss rate = %.3f, want mid-range", mM)
+	}
+}
+
+func TestLaunchOverheadLowersIPC(t *testing.T) {
+	// A fixed number of kernel launches over 64x less work (the
+	// small-data-set situation) -> lower IPC, because the serial launch
+	// overhead stops amortizing. This is the Fig. 4 mechanism. The
+	// working set is held cache-resident in both cases to isolate the
+	// overhead effect from the capacity effect.
+	s := BroadwellEP()
+	big := computeBound()
+	big.WorkingSetBytes = 8 << 20
+	small := big
+	small.Flops /= 64
+	small.IntOps /= 64
+	small.Branches /= 64
+	for i := range small.LoadBytes {
+		small.LoadBytes[i] /= 64
+		small.StoreBytes[i] /= 64
+	}
+	ipcSmall := Analyze(s, small, 0).Demand().IPC
+	ipcBig := Analyze(s, big, 0).Demand().IPC
+	if ipcSmall >= ipcBig {
+		t.Errorf("small data IPC %.3f >= big data IPC %.3f; launch overhead not biting", ipcSmall, ipcBig)
+	}
+}
+
+func TestCacheOverflowLowersIPC(t *testing.T) {
+	// Same mix, working set grown past the LLC -> more misses, lower
+	// IPC. This is the Fig. 5 mechanism (volume rendering at 256³).
+	s := BroadwellEP()
+	fits := computeBound()
+	spills := computeBound()
+	spills.WorkingSetBytes = 140 << 20
+	eFits := Analyze(s, fits, 0)
+	eSpills := Analyze(s, spills, 0)
+	if eSpills.LLCMisses <= eFits.LLCMisses {
+		t.Errorf("overflowing working set did not raise misses (%d vs %d)", eSpills.LLCMisses, eFits.LLCMisses)
+	}
+	if eSpills.Demand().IPC >= eFits.Demand().IPC {
+		t.Errorf("overflowing working set did not lower IPC (%.3f vs %.3f)",
+			eSpills.Demand().IPC, eFits.Demand().IPC)
+	}
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, computeBound(), 0)
+	r := e.UnderCap(80)
+	if got := r.PowerWatts * r.TimeSec; math.Abs(got-r.EnergyJ) > 1e-9*math.Abs(got) {
+		t.Errorf("EnergyJ = %v, want P*T = %v", r.EnergyJ, got)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, ops.Profile{}, 0)
+	if e.LLCMissRate() != 0 {
+		t.Errorf("empty profile miss rate = %v", e.LLCMissRate())
+	}
+	r := e.UnderCap(120)
+	if math.IsNaN(r.TimeSec) || math.IsNaN(r.PowerWatts) || math.IsNaN(r.IPC) {
+		t.Errorf("NaN in empty-profile result: %+v", r)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	e := Analyze(BroadwellEP(), computeBound(), 0)
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: for any random (bounded) profile, UnderCap frequency and time
+// are monotone in the cap and power never exceeds an achievable cap.
+func TestUnderCapMonotoneProperty(t *testing.T) {
+	s := BroadwellEP()
+	f := func(flops, stream, strided, random uint32, ws uint32, launches uint8) bool {
+		var p ops.Profile
+		p.Flops = uint64(flops) * 1000
+		p.LoadBytes[ops.Stream] = uint64(stream) * 1000
+		p.LoadBytes[ops.Strided] = uint64(strided) * 500
+		p.LoadBytes[ops.Random] = uint64(random) * 100
+		p.RandomAccesses = uint64(random)
+		p.WorkingSetBytes = uint64(ws)
+		p.Launches = uint64(launches)
+		e := Analyze(s, p, 0)
+		prevF, prevT := 0.0, math.Inf(1)
+		for cap := 40.0; cap <= 120; cap += 10 {
+			r := e.UnderCap(cap)
+			if r.FreqGHz < prevF-1e-9 || r.TimeSec > prevT+1e-9 {
+				return false
+			}
+			prevF, prevT = r.FreqGHz, r.TimeSec
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tratio (slowdown) never exceeds Pratio by more than the model
+// noise for memory-bound work — the paper's headline tradeoff claim.
+func TestSlowdownBoundedByPowerReduction(t *testing.T) {
+	s := BroadwellEP()
+	e := Analyze(s, memoryBound(), 0)
+	base := e.UnderCap(120)
+	for cap := 40.0; cap < 120; cap += 10 {
+		r := e.UnderCap(cap)
+		pratio := 120 / cap
+		tratio := r.TimeSec / base.TimeSec
+		if tratio > pratio {
+			t.Errorf("cap %v W: Tratio %.2f > Pratio %.2f for data-intensive work", cap, tratio, pratio)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/par"
+	"repro/internal/render"
+	"repro/internal/viz"
+	"repro/internal/viz/raytrace"
+	"repro/internal/viz/volren"
+)
+
+// RankResult carries one rank's measured work, for the power-scheduling
+// experiments (imbalanced slabs yield imbalanced profiles).
+type RankResult struct {
+	Rank    int
+	Profile ops.Profile
+}
+
+// encodeSurface flattens an image with depth to the fabric payload
+// (r, g, b, a, depth per pixel).
+func encodeSurface(im *render.Image) []float64 {
+	out := make([]float64, 0, len(im.Pix)*5)
+	for i, c := range im.Pix {
+		out = append(out, c[0], c[1], c[2], c[3], im.Depth[i])
+	}
+	return out
+}
+
+// RayTrace renders the scene with nRanks ranks, each owning one z-slab,
+// and composites by nearest depth (sort-last surface compositing). The
+// result matches the single-node rendering: every exterior surface
+// triangle belongs to exactly one rank, and the interior partition walls
+// each rank's slab adds are always occluded by the true surface.
+func RayTrace(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool) (*render.Image, []RankResult, error) {
+	// Global color normalization: every rank must map scalars to colors
+	// identically, so the range comes from the whole field, not a slab.
+	pf := g.PointField(field)
+	if pf == nil {
+		var err error
+		pf, err = g.CellToPoint(field)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	lo, hi := mesh.FieldRange(pf)
+	norm := render.Normalizer{Lo: lo, Hi: hi}
+
+	slabs, err := mesh.SlabDecompose(g, nRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	comm, err := NewComm(nRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]RankResult, nRanks)
+	var out *render.Image
+	var outMu sync.Mutex
+	err = comm.Run(func(ep *Endpoint) error {
+		ex := viz.NewExec(pool)
+		scene, err := raytrace.GatherScene(slabs[ep.Rank()], field, ex)
+		if err != nil {
+			return err
+		}
+		scene.Norm = norm
+		im := scene.Render(cam, w, h, ex)
+		results[ep.Rank()] = RankResult{Rank: ep.Rank(), Profile: ex.Drain()}
+		gathered, err := ep.Gather(0, 1, encodeSurface(im))
+		if err != nil {
+			return err
+		}
+		if ep.Rank() != 0 {
+			return nil
+		}
+		final := render.NewImage(w, h)
+		final.Fill(render.Color{0.08, 0.08, 0.10, 1})
+		for _, payload := range gathered {
+			if len(payload) != w*h*5 {
+				return fmt.Errorf("bad payload size %d", len(payload))
+			}
+			for p := 0; p < w*h; p++ {
+				d := payload[p*5+4]
+				if d < final.Depth[p] && !math.IsInf(d, 1) {
+					final.Depth[p] = d
+					final.Pix[p] = render.Color{payload[p*5], payload[p*5+1], payload[p*5+2], payload[p*5+3]}
+				}
+			}
+		}
+		outMu.Lock()
+		out = final
+		outMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, results, nil
+}
+
+// encodeSegments flattens a premultiplied segment image (r, g, b, a).
+func encodeSegments(im *render.Image) []float64 {
+	out := make([]float64, 0, len(im.Pix)*4)
+	for _, c := range im.Pix {
+		out = append(out, c[0], c[1], c[2], c[3])
+	}
+	return out
+}
+
+// VolumeRender renders the volume with nRanks z-slab ranks and composites
+// the per-rank ray segments front to back (sort-last ordered alpha
+// compositing). For axis-aligned slabs the per-pixel order is slab order
+// when the ray points toward +z and the reverse otherwise. The transfer
+// function is built from the global field range so every rank colors
+// identically.
+func VolumeRender(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool) (*render.Image, []RankResult, error) {
+	pf := g.PointField(field)
+	if pf == nil {
+		var err error
+		pf, err = g.CellToPoint(field)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	lo, hi := mesh.FieldRange(pf)
+	tf := render.TransferFunction{Norm: render.Normalizer{Lo: lo, Hi: hi}, OpacityScale: 0.25}
+
+	slabs, err := mesh.SlabDecompose(g, nRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	comm, err := NewComm(nRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]RankResult, nRanks)
+	var out *render.Image
+	var outMu sync.Mutex
+	err = comm.Run(func(ep *Endpoint) error {
+		slab := slabs[ep.Rank()]
+		slabField := slab.PointField(field)
+		if slabField == nil {
+			var err error
+			slabField, err = slab.CellToPoint(field)
+			if err != nil {
+				return err
+			}
+		}
+		ex := viz.NewExec(pool)
+		im := volren.RenderSegments(slab, slabField, tf, cam, w, h, ex)
+		results[ep.Rank()] = RankResult{Rank: ep.Rank(), Profile: ex.Drain()}
+		gathered, err := ep.Gather(0, 2, encodeSegments(im))
+		if err != nil {
+			return err
+		}
+		if ep.Rank() != 0 {
+			return nil
+		}
+		final := render.NewImage(w, h)
+		for p := 0; p < w*h; p++ {
+			px, py := p%w, p/w
+			_, dir := cam.Ray(px, py, w, h)
+			var cr, cg, cb, alpha float64
+			for k := 0; k < nRanks; k++ {
+				r := k
+				if dir[2] < 0 {
+					r = nRanks - 1 - k // far slabs first along -z rays
+				}
+				seg := gathered[r]
+				sa := seg[p*4+3]
+				if sa == 0 {
+					continue
+				}
+				weight := 1 - alpha
+				cr += weight * seg[p*4]
+				cg += weight * seg[p*4+1]
+				cb += weight * seg[p*4+2]
+				alpha += weight * sa
+			}
+			final.Pix[p] = render.Color{cr, cg, cb, alpha}
+		}
+		volren.BlendBackground(final)
+		outMu.Lock()
+		out = final
+		outMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, results, nil
+}

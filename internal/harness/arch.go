@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+)
+
+// Architectures lists the processor models the cross-architecture
+// extension compares (the paper's §VIII future work).
+func Architectures() []cpu.Spec {
+	return []cpu.Spec{cpu.BroadwellEP(), cpu.EPYCLike(), cpu.KNLLike()}
+}
+
+// ArchRow is one algorithm's capping response on one architecture.
+type ArchRow struct {
+	Spec cpu.Spec
+	// Fractions are the cap points as fractions of TDP.
+	Fractions []float64
+	// Tratios are the slowdowns at those fractions.
+	Tratios []float64
+	// DemandFrac is the unconstrained power demand as a fraction of TDP.
+	DemandFrac float64
+	// FirstSlowFrac is the largest cap fraction with a >= 10% slowdown
+	// (0 when the algorithm never slows that much).
+	FirstSlowFrac float64
+}
+
+// archFractions are the relative cap points used for cross-architecture
+// comparison: each architecture's enforceable range differs in watts, so
+// caps are expressed as fractions of its TDP.
+var archFractions = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.33}
+
+// CompareArchitectures re-analyzes one algorithm's instrumented profile
+// on each architecture and sweeps caps relative to each TDP. The profile
+// is obtained from a run at the phase size on the study pool (the
+// operation counts are architecture-independent; the model is not).
+func (c *Config) CompareArchitectures(algName string, specs []cpu.Spec) ([]ArchRow, error) {
+	c.Defaults()
+	f, err := c.FilterByName(algName)
+	if err != nil {
+		return nil, err
+	}
+	run, err := c.Run(f, c.PhaseSize)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ArchRow
+	for _, spec := range specs {
+		exec := cpu.Analyze(spec, run.Profile, 0)
+		base := exec.UnderCap(spec.TDPWatts)
+		row := ArchRow{
+			Spec:       spec,
+			Fractions:  archFractions,
+			DemandFrac: exec.Demand().PowerWatts / spec.TDPWatts,
+		}
+		for _, frac := range archFractions {
+			r := exec.UnderCap(frac * spec.TDPWatts)
+			tr := metrics.Compute(base, r).Tratio
+			row.Tratios = append(row.Tratios, tr)
+			if row.FirstSlowFrac == 0 && tr >= metrics.SlowdownThreshold {
+				row.FirstSlowFrac = frac
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ArchTable renders the cross-architecture comparison.
+func ArchTable(algName string, rows []ArchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-architecture capping response — %s\n", algName)
+	fmt.Fprintf(&b, "%-40s %10s", "Architecture (cap as fraction of TDP)", "demand")
+	for _, frac := range archFractions {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("%.0f%%", frac*100))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-40s %9.0f%%", row.Spec.Name, row.DemandFrac*100)
+		for i := range row.Fractions {
+			mark := ""
+			if row.Fractions[i] == row.FirstSlowFrac {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%8s", fmt.Sprintf("%.2fX%s", row.Tratios[i], mark))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestArchitecturesList(t *testing.T) {
+	specs := Architectures()
+	if len(specs) != 3 {
+		t.Fatalf("architectures = %d, want 3", len(specs))
+	}
+	if specs[0].Name != cpu.BroadwellEP().Name {
+		t.Errorf("first architecture should be the paper's Broadwell, got %q", specs[0].Name)
+	}
+	for _, s := range specs {
+		if len(s.FreqLadder()) < 2 {
+			t.Errorf("%s: degenerate frequency ladder", s.Name)
+		}
+		if s.MinCapWatts >= s.TDPWatts {
+			t.Errorf("%s: cap floor above TDP", s.Name)
+		}
+	}
+}
+
+func TestCompareArchitectures(t *testing.T) {
+	c := tinyConfig()
+	rows, err := c.CompareArchitectures("Contour", Architectures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Tratios) != len(archFractions) {
+			t.Fatalf("%s: %d ratios", row.Spec.Name, len(row.Tratios))
+		}
+		// Tratio at full TDP is 1 and never improves as caps drop.
+		if row.Tratios[0] != 1 {
+			t.Errorf("%s: Tratio at TDP = %v", row.Spec.Name, row.Tratios[0])
+		}
+		for i := 1; i < len(row.Tratios); i++ {
+			if row.Tratios[i] < row.Tratios[i-1]-1e-9 {
+				t.Errorf("%s: Tratio not monotone at %v", row.Spec.Name, archFractions[i])
+			}
+		}
+		if row.DemandFrac <= 0 || row.DemandFrac > 1.2 {
+			t.Errorf("%s: demand fraction %v", row.Spec.Name, row.DemandFrac)
+		}
+	}
+	tbl := ArchTable("Contour", rows)
+	if !strings.Contains(tbl, "Broadwell") || !strings.Contains(tbl, "KNL") {
+		t.Errorf("table missing architectures:\n%s", tbl)
+	}
+	if _, err := c.CompareArchitectures("Nope", Architectures()); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestArchExtensionShiftsClasses(t *testing.T) {
+	// The future-work hypothesis the extension demonstrates: on a
+	// machine with ~7x the memory bandwidth (KNL-like), the paper's
+	// data-bound algorithms stop being free to cap — their relative
+	// first-slowdown point moves to a higher cap fraction (or their 33%
+	// slowdown worsens) compared with Broadwell.
+	c := tinyConfig()
+	rows, err := c.CompareArchitectures("Threshold", []cpu.Spec{cpu.BroadwellEP(), cpu.KNLLike()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdw, knl := rows[0], rows[1]
+	last := len(archFractions) - 1
+	if knl.Tratios[last] < bdw.Tratios[last]-1e-9 {
+		t.Errorf("deep-cap slowdown on KNL (%v) should be at least Broadwell's (%v): bandwidth removes the memory bottleneck",
+			knl.Tratios[last], bdw.Tratios[last])
+	}
+}

@@ -1,0 +1,306 @@
+// Package harness drives the paper's experimental campaign: the 288-test
+// matrix of 9 processor power caps × 8 visualization algorithms × 4 data
+// set sizes (Section IV), organized into the paper's three phases, and
+// the emitters that regenerate every table (I–III) and figure (2–6) of
+// the evaluation.
+//
+// A key property of the simulated-hardware design: each (algorithm, size)
+// pair executes once — the instrumented run yields a cap-independent
+// operation profile — and the nine power caps are then applied through
+// the processor model, exactly as real RAPL capping re-runs identical
+// work under different limits.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/par"
+	"repro/internal/sim/clover"
+	"repro/internal/viz"
+	"repro/internal/viz/advect"
+	"repro/internal/viz/clip"
+	"repro/internal/viz/contour"
+	"repro/internal/viz/gradient"
+	"repro/internal/viz/histogram"
+	"repro/internal/viz/isovolume"
+	"repro/internal/viz/raytrace"
+	"repro/internal/viz/slice"
+	"repro/internal/viz/threshold"
+	"repro/internal/viz/volren"
+)
+
+// Config holds the study parameters. Zero-value fields take the paper's
+// defaults via Defaults; tests shrink the workload knobs.
+type Config struct {
+	// Spec is the modeled processor. Default: BroadwellEP.
+	Spec cpu.Spec
+	// Pool executes the instrumented kernels. Default: machine pool.
+	Pool *par.Pool
+	// Caps are the enforced power limits in watts, ordered as the paper
+	// tables list them (high → low). Default 120…40 in 10 W steps.
+	Caps []float64
+	// Sizes are the data-set edge lengths in cells. Default
+	// {32, 64, 128, 256}.
+	Sizes []int
+	// PhaseSize is the data-set size Phases 1 and 2 use. Default 128.
+	PhaseSize int
+
+	// Workload knobs (paper values by default).
+	Images        int // ray tracing / volume rendering image count (50)
+	ImageSize     int // image width=height (128)
+	Particles     int // particle advection seeds (1024)
+	ParticleSteps int // advection steps (1000)
+	Isovalues     int // contour isovalues per cycle (10)
+
+	// Hydro-proxy controls: the data set is the CloverLeaf-like run's
+	// state near physical time SimTime (the paper uses time step 200).
+	// Sizes above MaxSimSize are produced by trilinear resampling of the
+	// largest direct run (see DESIGN.md substitutions).
+	SimTime     float64
+	MaxSimSize  int
+	MaxSimSteps int
+
+	// Progress, if non-nil, receives one line per completed run.
+	Progress func(string)
+
+	datasets map[int]*mesh.UniformGrid
+	runs     map[string]*AlgoRun
+}
+
+// Defaults fills unset fields with the paper's configuration and returns
+// the config for chaining.
+func (c *Config) Defaults() *Config {
+	if c.Spec.Cores == 0 {
+		c.Spec = cpu.BroadwellEP()
+	}
+	if c.Pool == nil {
+		c.Pool = par.Default()
+	}
+	if len(c.Caps) == 0 {
+		for w := 120.0; w >= 40; w -= 10 {
+			c.Caps = append(c.Caps, w)
+		}
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{32, 64, 128, 256}
+	}
+	if c.PhaseSize == 0 {
+		c.PhaseSize = 128
+	}
+	if c.Images == 0 {
+		c.Images = 50
+	}
+	if c.ImageSize == 0 {
+		c.ImageSize = 128
+	}
+	if c.Particles == 0 {
+		c.Particles = 1024
+	}
+	if c.ParticleSteps == 0 {
+		c.ParticleSteps = 1000
+	}
+	if c.Isovalues == 0 {
+		c.Isovalues = 10
+	}
+	if c.SimTime == 0 {
+		c.SimTime = 0.12
+	}
+	if c.MaxSimSize == 0 {
+		c.MaxSimSize = 128
+	}
+	if c.MaxSimSteps == 0 {
+		c.MaxSimSteps = 400
+	}
+	if c.datasets == nil {
+		c.datasets = make(map[int]*mesh.UniformGrid)
+	}
+	if c.runs == nil {
+		c.runs = make(map[string]*AlgoRun)
+	}
+	return c
+}
+
+func (c *Config) log(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Preload installs an externally-built data set for the given size, so
+// callers (and the benchmarks) can reuse one grid across many fresh
+// configurations or bring their own data. The grid must be a unit-cube
+// grid with size cells per axis carrying the study fields.
+func (c *Config) Preload(size int, g *mesh.UniformGrid) {
+	c.Defaults()
+	c.datasets[size] = g
+}
+
+// Dataset returns (building and caching on first use) the CloverLeaf-like
+// data set at the given size.
+func (c *Config) Dataset(size int) (*mesh.UniformGrid, error) {
+	c.Defaults()
+	if g, ok := c.datasets[size]; ok {
+		return g, nil
+	}
+	simSize := size
+	if simSize > c.MaxSimSize {
+		simSize = c.MaxSimSize
+	}
+	// The direct hydro run may itself be cacheable under its own size.
+	base, ok := c.datasets[simSize]
+	if !ok {
+		s, err := clover.New(simSize, clover.Options{})
+		if err != nil {
+			return nil, err
+		}
+		steps := 0
+		for s.Time() < c.SimTime && steps < c.MaxSimSteps {
+			s.Step(c.Pool, nil)
+			steps++
+		}
+		c.log("dataset %d^3: hydro ran %d steps to t=%.4f", simSize, steps, s.Time())
+		base, err = s.Grid()
+		if err != nil {
+			return nil, err
+		}
+		c.datasets[simSize] = base
+	}
+	if simSize == size {
+		return base, nil
+	}
+	up, err := mesh.ResampleCube(base, size)
+	if err != nil {
+		return nil, err
+	}
+	c.log("dataset %d^3: resampled from %d^3", size, simSize)
+	c.datasets[size] = up
+	return up, nil
+}
+
+// Filters returns the paper's eight algorithms, configured per c, in the
+// row order of Tables II/III.
+func (c *Config) Filters() []viz.Filter {
+	c.Defaults()
+	return []viz.Filter{
+		contour.New(contour.Options{Field: "energy", NumIsovalues: c.Isovalues}),
+		clip.New(clip.Options{Field: "energy"}),
+		isovolume.New(isovolume.Options{Field: "energy"}),
+		threshold.New(threshold.Options{Field: "energy"}),
+		slice.New(slice.Options{Field: "energy"}),
+		raytrace.New(raytrace.Options{Field: "energy", Images: c.Images, Width: c.ImageSize, Height: c.ImageSize}),
+		advect.New(advect.Options{Vector: "velocity", NumParticles: c.Particles, NumSteps: c.ParticleSteps}),
+		volren.New(volren.Options{Field: "energy", Images: c.Images, Width: c.ImageSize, Height: c.ImageSize}),
+	}
+}
+
+// ExtendedFilters returns the paper's eight algorithms plus the
+// extension workloads added per its future work (gradient, histogram),
+// so the classification can cover more of the in situ ecosystem.
+func (c *Config) ExtendedFilters() []viz.Filter {
+	return append(c.Filters(),
+		gradient.New(gradient.Options{Field: "energy"}),
+		histogram.New(histogram.Options{Field: "energy"}),
+	)
+}
+
+// CellCenteredNames lists the algorithms the Fig. 3 rate metric applies
+// to (those that iterate over each cell of the input).
+var CellCenteredNames = []string{"Contour", "Isovolume", "Slice", "Spherical Clip", "Threshold"}
+
+// FilterByName returns the configured filter (including extensions) with
+// the given name.
+func (c *Config) FilterByName(name string) (viz.Filter, error) {
+	for _, f := range c.ExtendedFilters() {
+		if f.Name() == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown algorithm %q", name)
+}
+
+// RunAllExtended executes the extended filter set at one size.
+func (c *Config) RunAllExtended(size int) ([]*AlgoRun, error) {
+	var out []*AlgoRun
+	for _, f := range c.ExtendedFilters() {
+		r, err := c.Run(f, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AlgoRun is the outcome of one (algorithm, size) execution: the
+// instrumented profile, its processor-model analysis, and the modeled
+// result under every cap in Config.Caps (same order).
+type AlgoRun struct {
+	Name     string
+	Size     int
+	Elements int64
+	Profile  ops.Profile
+	Exec     cpu.Execution
+	// Base is the result at the first (default/TDP) cap.
+	Base  cpu.CapResult
+	ByCap []cpu.CapResult
+}
+
+// Run executes one algorithm at one size (cached) and models it under
+// every cap.
+func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
+	c.Defaults()
+	key := fmt.Sprintf("%s/%d", f.Name(), size)
+	if r, ok := c.runs[key]; ok {
+		return r, nil
+	}
+	g, err := c.Dataset(size)
+	if err != nil {
+		return nil, err
+	}
+	ex := viz.NewExec(c.Pool)
+	res, err := f.Run(g, ex)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s at %d^3: %w", f.Name(), size, err)
+	}
+	run := &AlgoRun{
+		Name:     f.Name(),
+		Size:     size,
+		Elements: res.Elements,
+		Profile:  res.Profile,
+		Exec:     cpu.Analyze(c.Spec, res.Profile, 0),
+	}
+	run.ByCap = make([]cpu.CapResult, len(c.Caps))
+	for i, capW := range c.Caps {
+		run.ByCap[i] = run.Exec.UnderCap(capW)
+	}
+	run.Base = run.ByCap[0]
+	c.runs[key] = run
+	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
+		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)
+	return run, nil
+}
+
+// RunAll executes all eight algorithms at one size.
+func (c *Config) RunAll(size int) ([]*AlgoRun, error) {
+	var out []*AlgoRun
+	for _, f := range c.Filters() {
+		r, err := c.Run(f, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SortedSizes returns the configured sizes ascending.
+func (c *Config) SortedSizes() []int {
+	c.Defaults()
+	s := append([]int(nil), c.Sizes...)
+	sort.Ints(s)
+	return s
+}

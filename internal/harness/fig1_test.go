@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRenderFig1WritesAllEightImages(t *testing.T) {
+	c := tinyConfig()
+	dir := t.TempDir()
+	paths, err := c.RenderFig1(16, 32, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 8 {
+		t.Fatalf("wrote %d images, want 8", len(paths))
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing %s: %v", p, err)
+		}
+		if info.Size() < 100 {
+			t.Errorf("%s suspiciously small (%d bytes)", p, info.Size())
+		}
+	}
+	// Expected file names.
+	for _, want := range []string{"contour.png", "volume_rendering.png", "particle_advection.png"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("expected %s: %v", want, err)
+		}
+	}
+}
+
+func TestFileSlug(t *testing.T) {
+	cases := map[string]string{
+		"Contour":           "contour",
+		"Spherical Clip":    "spherical_clip",
+		"Volume Rendering":  "volume_rendering",
+		"already_lowercase": "already_lowercase",
+	}
+	for in, want := range cases {
+		if got := fileSlug(in); got != want {
+			t.Errorf("fileSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WriteReport assembles a self-contained markdown report of one full
+// campaign: the configuration, the classification, all three tables, the
+// claim checks, and pointers to the figure artifacts. The `all` command
+// writes it as report.md next to the CSV/SVG/PNG outputs.
+func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Claim) error {
+	c.Defaults()
+	var b strings.Builder
+	b.WriteString("# vizpower campaign report\n\n")
+	b.WriteString("Reproduction of Labasan et al., *Power and Performance Tradeoffs for\n")
+	b.WriteString("Visualization Algorithms* (IPDPS 2019), on the simulated-Broadwell stack.\n\n")
+
+	b.WriteString("## Configuration\n\n")
+	fmt.Fprintf(&b, "- processor model: %s\n", c.Spec.Name)
+	fmt.Fprintf(&b, "- power caps: %.0f W down to %.0f W in %d steps\n",
+		c.Caps[0], c.Caps[len(c.Caps)-1], len(c.Caps))
+	fmt.Fprintf(&b, "- data-set sizes: %v (cells per axis), phase size %d\n", c.SortedSizes(), c.PhaseSize)
+	fmt.Fprintf(&b, "- workloads: %d isovalues, %d images at %d x %d, %d particles x %d steps\n",
+		c.Isovalues, c.Images, c.ImageSize, c.ImageSize, c.Particles, c.ParticleSteps)
+	fmt.Fprintf(&b, "- study matrix: %d configurations\n\n", c.TotalConfigurations())
+
+	b.WriteString("## Classification (Section VI-B)\n\n```\n")
+	b.WriteString(DemandTable(runs2))
+	b.WriteString("```\n\n")
+
+	b.WriteString("## Claim checks\n\n```\n")
+	b.WriteString(FormatClaims(claims))
+	b.WriteString("```\n\n")
+
+	if len(runs2) > 0 {
+		b.WriteString("## Table I (Phase 1)\n\n```\n")
+		for _, r := range runs2 {
+			if r.Name == "Contour" {
+				b.WriteString(Table1(r, c.Caps))
+				break
+			}
+		}
+		b.WriteString("```\n\n")
+	}
+	b.WriteString("## Table II (Phase 2)\n\n```\n")
+	b.WriteString(Table2(runs2, c.Caps))
+	b.WriteString("```\n\n")
+	if len(runs3) > 0 {
+		b.WriteString("## Table III (Phase 3)\n\n```\n")
+		b.WriteString(Table3(runs3, c.Caps))
+		b.WriteString("```\n\n")
+	}
+
+	b.WriteString("## Energy to solution\n\n```\n")
+	b.WriteString(EnergyTable(runs2, c.Caps))
+	b.WriteString("```\n\n")
+
+	b.WriteString("## Figures\n\n")
+	b.WriteString("| figure | content | files |\n|---|---|---|\n")
+	figRows := []struct{ id, desc string }{
+		{"fig1", "renderings of the eight algorithms"},
+		{"fig2a", "effective frequency vs. cap"},
+		{"fig2b", "IPC vs. cap"},
+		{"fig2c", "LLC miss rate vs. cap"},
+		{"fig3", "elements/s, cell-centered algorithms"},
+		{"fig4", "slice IPC by data-set size"},
+		{"fig5", "volume rendering IPC by data-set size"},
+		{"fig6", "particle advection IPC by data-set size"},
+	}
+	for _, fr := range figRows {
+		files := fr.id + ".csv, " + fr.id + ".svg"
+		if fr.id == "fig1" {
+			files = "fig1/*.png"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", fr.id, fr.desc, files)
+	}
+	b.WriteString("\n## Per-algorithm summary (phase size)\n\n")
+	b.WriteString("| algorithm | demand (W) | IPC | LLC miss | first 10% slowdown | Tratio @ 40 W | energy @ 40 W |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range runs2 {
+		d := r.Exec.Demand()
+		s := metrics.FirstSlowdownCap(r.Base, r.ByCap)
+		slowStr := "none"
+		if s > 0 {
+			slowStr = fmt.Sprintf("%.0f W", s)
+		}
+		last := r.ByCap[len(r.ByCap)-1]
+		tr := metrics.Compute(r.Base, last)
+		eRatio := 0.0
+		if r.Base.EnergyJ > 0 {
+			eRatio = last.EnergyJ / r.Base.EnergyJ
+		}
+		fmt.Fprintf(&b, "| %s | %.1f | %.2f | %.3f | %s | %.2fX | %.2fx |\n",
+			r.Name, d.PowerWatts, d.IPC, d.LLCMissRate, slowStr, tr.Tratio, eRatio)
+	}
+	b.WriteString("\nSee EXPERIMENTS.md for the paper-versus-measured discussion.\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

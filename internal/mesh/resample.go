@@ -1,0 +1,67 @@
+package mesh
+
+import "fmt"
+
+// ResampleCube produces an n-cell cube grid whose fields are trilinear
+// resamplings of g's fields: every cell field (via its recentered point
+// version), every point field, and every point vector field. The study
+// harness uses it to synthesize data-set sizes larger than the largest
+// hydro run that is practical here (a documented substitution; the
+// visualization workloads only care about field smoothness and feature
+// scale, which resampling preserves).
+func ResampleCube(g *UniformGrid, n int) (*UniformGrid, error) {
+	out, err := NewCubeGrid(n)
+	if err != nil {
+		return nil, err
+	}
+	if g.Bounds() != out.Bounds() {
+		return nil, fmt.Errorf("mesh: ResampleCube requires a unit-cube source, got bounds %+v", g.Bounds())
+	}
+
+	// Make sure every cell field has a point version to sample.
+	for name := range g.cellFields {
+		if g.pointFields[name] == nil {
+			if _, err := g.CellToPoint(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	samplePts := func(src []float64, dst []float64) {
+		for id := range dst {
+			v, ok := SampleScalarField(g, src, out.PointPosition(id))
+			if !ok {
+				v = 0
+			}
+			dst[id] = v
+		}
+	}
+	for name := range g.cellFields {
+		src := g.pointFields[name]
+		cf := out.AddCellField(name)
+		for c := range cf {
+			v, ok := SampleScalarField(g, src, out.CellCenter(c))
+			if !ok {
+				v = 0
+			}
+			cf[c] = v
+		}
+		samplePts(src, out.AddPointField(name))
+	}
+	for name, src := range g.pointFields {
+		if out.pointFields[name] != nil {
+			continue // already produced alongside the cell field
+		}
+		samplePts(src, out.AddPointField(name))
+	}
+	for name := range g.pointVectors {
+		dst := out.AddPointVector(name)
+		for id := range dst {
+			v, ok := g.SampleVector(name, out.PointPosition(id))
+			if !ok {
+				v = Vec3{}
+			}
+			dst[id] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package mesh
+
+import "fmt"
+
+// ExtractSlab copies the sub-grid spanning cell layers [k0, k1) along the
+// z axis, with all point/cell scalar fields and point vector fields. The
+// multi-node experiments use it to give each simulated node a slab of the
+// domain (the classic distributed-visualization decomposition), so the
+// shock region concentrates work on some nodes — the paper's §III-A
+// "non-uniform workload distribution across nodes".
+func ExtractSlab(g *UniformGrid, k0, k1 int) (*UniformGrid, error) {
+	cd := g.CellDims()
+	if k0 < 0 || k1 > cd[2] || k0 >= k1 {
+		return nil, fmt.Errorf("mesh: slab [%d,%d) outside 0..%d", k0, k1, cd[2])
+	}
+	dims := [3]int{g.Dims[0], g.Dims[1], k1 - k0 + 1}
+	origin := g.Origin
+	origin[2] += float64(k0) * g.Spacing[2]
+	out, err := NewUniformGrid(dims, origin, g.Spacing)
+	if err != nil {
+		return nil, err
+	}
+	// Point fields.
+	for name, src := range g.pointFields {
+		dst := out.AddPointField(name)
+		for k := 0; k < dims[2]; k++ {
+			for j := 0; j < dims[1]; j++ {
+				for i := 0; i < dims[0]; i++ {
+					dst[out.PointID(i, j, k)] = src[g.PointID(i, j, k+k0)]
+				}
+			}
+		}
+	}
+	// Point vectors.
+	for name, src := range g.pointVectors {
+		dst := out.AddPointVector(name)
+		for k := 0; k < dims[2]; k++ {
+			for j := 0; j < dims[1]; j++ {
+				for i := 0; i < dims[0]; i++ {
+					dst[out.PointID(i, j, k)] = src[g.PointID(i, j, k+k0)]
+				}
+			}
+		}
+	}
+	// Cell fields.
+	ocd := out.CellDims()
+	for name, src := range g.cellFields {
+		dst := out.AddCellField(name)
+		for k := 0; k < ocd[2]; k++ {
+			for j := 0; j < ocd[1]; j++ {
+				for i := 0; i < ocd[0]; i++ {
+					dst[out.CellID(i, j, k)] = src[g.CellID(i, j, k+k0)]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SlabDecompose splits the grid into n z-slabs of near-equal cell layers.
+func SlabDecompose(g *UniformGrid, n int) ([]*UniformGrid, error) {
+	cd := g.CellDims()
+	if n < 1 || n > cd[2] {
+		return nil, fmt.Errorf("mesh: cannot cut %d slabs from %d layers", n, cd[2])
+	}
+	out := make([]*UniformGrid, n)
+	for s := 0; s < n; s++ {
+		k0 := s * cd[2] / n
+		k1 := (s + 1) * cd[2] / n
+		slab, err := ExtractSlab(g, k0, k1)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = slab
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package mesh
+
+import "testing"
+
+func slabSource(t testing.TB) *UniformGrid {
+	t.Helper()
+	g := mustCube(t, 8)
+	pf := g.AddPointField("e")
+	for id := 0; id < g.NumPoints(); id++ {
+		pf[id] = g.PointPosition(id)[2] // field equals z
+	}
+	cf := g.AddCellField("rho")
+	for c := 0; c < g.NumCells(); c++ {
+		_, _, k := g.CellIJK(c)
+		cf[c] = float64(k)
+	}
+	vf := g.AddPointVector("v")
+	for id := 0; id < g.NumPoints(); id++ {
+		vf[id] = Vec3{0, 0, g.PointPosition(id)[2]}
+	}
+	return g
+}
+
+func TestExtractSlabGeometry(t *testing.T) {
+	g := slabSource(t)
+	s, err := ExtractSlab(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd := s.CellDims(); cd != [3]int{8, 8, 3} {
+		t.Fatalf("slab cell dims = %v", cd)
+	}
+	if s.Origin[2] != 2.0/8 {
+		t.Errorf("slab origin z = %v, want 0.25", s.Origin[2])
+	}
+	b := s.Bounds()
+	if !almostEq(b.Lo[2], 0.25, 1e-12) || !almostEq(b.Hi[2], 0.625, 1e-12) {
+		t.Errorf("slab z bounds = [%v, %v]", b.Lo[2], b.Hi[2])
+	}
+}
+
+func TestExtractSlabFieldsPreserved(t *testing.T) {
+	g := slabSource(t)
+	s, err := ExtractSlab(g, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := s.PointField("e")
+	for id := 0; id < s.NumPoints(); id++ {
+		want := s.PointPosition(id)[2]
+		if !almostEq(pf[id], want, 1e-12) {
+			t.Fatalf("point field value %v at z=%v", pf[id], want)
+		}
+	}
+	cf := s.CellField("rho")
+	for c := 0; c < s.NumCells(); c++ {
+		_, _, k := s.CellIJK(c)
+		if cf[c] != float64(k+3) {
+			t.Fatalf("cell field = %v, want %v", cf[c], k+3)
+		}
+	}
+	vf := s.PointVector("v")
+	for id := 0; id < s.NumPoints(); id++ {
+		if !almostEq(vf[id][2], s.PointPosition(id)[2], 1e-12) {
+			t.Fatal("vector field not preserved")
+		}
+	}
+}
+
+func TestExtractSlabBounds(t *testing.T) {
+	g := slabSource(t)
+	if _, err := ExtractSlab(g, -1, 3); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := ExtractSlab(g, 3, 3); err == nil {
+		t.Error("empty slab accepted")
+	}
+	if _, err := ExtractSlab(g, 0, 9); err == nil {
+		t.Error("overlong slab accepted")
+	}
+}
+
+func TestSlabDecomposeCoversDomain(t *testing.T) {
+	g := slabSource(t)
+	slabs, err := SlabDecompose(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slabs) != 3 {
+		t.Fatalf("slabs = %d", len(slabs))
+	}
+	totalCells := 0
+	prevHi := g.Origin[2]
+	for _, s := range slabs {
+		totalCells += s.NumCells()
+		b := s.Bounds()
+		if !almostEq(b.Lo[2], prevHi, 1e-12) {
+			t.Errorf("slab gap: starts at %v, previous ended at %v", b.Lo[2], prevHi)
+		}
+		prevHi = b.Hi[2]
+	}
+	if totalCells != g.NumCells() {
+		t.Errorf("slabs cover %d cells, want %d", totalCells, g.NumCells())
+	}
+	if _, err := SlabDecompose(g, 9); err == nil {
+		t.Error("more slabs than layers accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package mesh
+
+import "testing"
+
+func TestTriMeshAppend(t *testing.T) {
+	a := &TriMesh{
+		Points:  []Vec3{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}},
+		Scalars: []float64{1, 2, 3},
+		Tris:    [][3]int32{{0, 1, 2}},
+	}
+	b := &TriMesh{
+		Points:  []Vec3{{0, 0, 1}, {1, 0, 1}, {0, 1, 1}},
+		Scalars: []float64{4, 5, 6},
+		Tris:    [][3]int32{{0, 1, 2}},
+	}
+	a.Append(b)
+	if a.NumPoints() != 6 || a.NumTris() != 2 {
+		t.Fatalf("after append: %d points, %d tris", a.NumPoints(), a.NumTris())
+	}
+	if a.Tris[1] != [3]int32{3, 4, 5} {
+		t.Errorf("renumbered tri = %v", a.Tris[1])
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTriMeshValidateCatchesBadIndex(t *testing.T) {
+	m := &TriMesh{
+		Points: []Vec3{{0, 0, 0}, {1, 0, 0}},
+		Tris:   [][3]int32{{0, 1, 2}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range index")
+	}
+	m2 := &TriMesh{
+		Points:  []Vec3{{0, 0, 0}},
+		Scalars: []float64{1, 2},
+	}
+	if err := m2.Validate(); err == nil {
+		t.Error("Validate accepted scalar/point mismatch")
+	}
+}
+
+func TestTriMeshBounds(t *testing.T) {
+	m := &TriMesh{Points: []Vec3{{-1, 2, 3}, {4, -5, 6}}}
+	b := m.Bounds()
+	if b.Lo != (Vec3{-1, -5, 3}) || b.Hi != (Vec3{4, 2, 6}) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestLineSet(t *testing.T) {
+	l := NewLineSet()
+	if l.NumLines() != 0 {
+		t.Errorf("empty NumLines = %d", l.NumLines())
+	}
+	l.AppendLine([]Vec3{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}, []float64{0, 1, 2})
+	l.AppendLine([]Vec3{{0, 1, 0}, {0, 2, 0}}, []float64{3, 4})
+	if l.NumLines() != 2 || l.TotalPoints() != 5 {
+		t.Fatalf("NumLines=%d TotalPoints=%d", l.NumLines(), l.TotalPoints())
+	}
+	lo, hi := l.Line(0)
+	if lo != 0 || hi != 3 {
+		t.Errorf("Line(0) = [%d,%d)", lo, hi)
+	}
+	lo, hi = l.Line(1)
+	if lo != 3 || hi != 5 {
+		t.Errorf("Line(1) = [%d,%d)", lo, hi)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLineSetValidateErrors(t *testing.T) {
+	bad := &LineSet{Offsets: []int32{1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted offsets not starting at 0")
+	}
+	bad2 := &LineSet{Offsets: []int32{0, 3, 2}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("accepted non-monotone offsets")
+	}
+	bad3 := NewLineSet()
+	bad3.AppendLine([]Vec3{{0, 0, 0}}, []float64{1, 2})
+	if err := bad3.Validate(); err == nil {
+		t.Error("accepted scalar/point mismatch")
+	}
+}
+
+func TestCellTypeProperties(t *testing.T) {
+	cases := []struct {
+		ct   CellType
+		n    int
+		name string
+	}{
+		{Tet, 4, "tet"}, {Pyramid, 5, "pyramid"}, {Wedge, 6, "wedge"}, {Hex, 8, "hex"},
+	}
+	for _, c := range cases {
+		if c.ct.NumCellPoints() != c.n {
+			t.Errorf("%s NumCellPoints = %d, want %d", c.name, c.ct.NumCellPoints(), c.n)
+		}
+		if c.ct.String() != c.name {
+			t.Errorf("String = %q, want %q", c.ct.String(), c.name)
+		}
+	}
+	if CellType(99).NumCellPoints() != 0 || CellType(99).String() != "unknown" {
+		t.Error("unknown cell type not handled")
+	}
+}
+
+func unitTetMesh() *UnstructuredMesh {
+	m := NewUnstructuredMesh()
+	p0 := m.AddPoint(Vec3{0, 0, 0}, 0)
+	p1 := m.AddPoint(Vec3{1, 0, 0}, 1)
+	p2 := m.AddPoint(Vec3{0, 1, 0}, 2)
+	p3 := m.AddPoint(Vec3{0, 0, 1}, 3)
+	m.AddCell(Tet, p0, p1, p2, p3)
+	return m
+}
+
+func TestUnstructuredMeshBasics(t *testing.T) {
+	m := unitTetMesh()
+	if m.NumCells() != 1 {
+		t.Fatalf("NumCells = %d", m.NumCells())
+	}
+	ct, conn := m.Cell(0)
+	if ct != Tet || len(conn) != 4 {
+		t.Errorf("Cell(0) = %v %v", ct, conn)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	b := m.Bounds()
+	if b.Lo != (Vec3{0, 0, 0}) || b.Hi != (Vec3{1, 1, 1}) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestUnstructuredMeshAddCellPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddCell accepted wrong connectivity length")
+		}
+	}()
+	m := NewUnstructuredMesh()
+	m.AddCell(Tet, 0, 1, 2)
+}
+
+func TestUnstructuredMeshAppend(t *testing.T) {
+	a := unitTetMesh()
+	b := unitTetMesh()
+	a.Append(b)
+	if a.NumCells() != 2 || len(a.Points) != 8 {
+		t.Fatalf("after append: %d cells, %d points", a.NumCells(), len(a.Points))
+	}
+	_, conn := a.Cell(1)
+	for _, c := range conn {
+		if c < 4 {
+			t.Errorf("second cell connectivity not renumbered: %v", conn)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUnstructuredValidateErrors(t *testing.T) {
+	m := unitTetMesh()
+	m.Conn[0] = 99
+	if err := m.Validate(); err == nil {
+		t.Error("accepted out-of-range connectivity")
+	}
+	m2 := unitTetMesh()
+	m2.Scalars = m2.Scalars[:2]
+	if err := m2.Validate(); err == nil {
+		t.Error("accepted scalar/point mismatch")
+	}
+}
+
+func TestExternalFacesSingleTet(t *testing.T) {
+	m := unitTetMesh()
+	surf := ExternalFaces(m)
+	if surf.NumTris() != 4 {
+		t.Errorf("tet surface has %d tris, want 4", surf.NumTris())
+	}
+	if surf.NumPoints() != 4 {
+		t.Errorf("tet surface has %d points, want 4", surf.NumPoints())
+	}
+	if err := surf.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestExternalFacesSingleHex(t *testing.T) {
+	m := NewUnstructuredMesh()
+	var ids [8]int32
+	corners := [8]Vec3{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	for i, c := range corners {
+		ids[i] = m.AddPoint(c, float64(i))
+	}
+	m.AddCell(Hex, ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7])
+	surf := ExternalFaces(m)
+	// 6 quad faces -> 12 triangles.
+	if surf.NumTris() != 12 {
+		t.Errorf("hex surface has %d tris, want 12", surf.NumTris())
+	}
+}
+
+func TestExternalFacesSharedFaceRemoved(t *testing.T) {
+	// Two tets sharing face (0,1,2): external faces = 4+4-2 = 6.
+	m := NewUnstructuredMesh()
+	p0 := m.AddPoint(Vec3{0, 0, 0}, 0)
+	p1 := m.AddPoint(Vec3{1, 0, 0}, 0)
+	p2 := m.AddPoint(Vec3{0, 1, 0}, 0)
+	top := m.AddPoint(Vec3{0, 0, 1}, 0)
+	bot := m.AddPoint(Vec3{0, 0, -1}, 0)
+	m.AddCell(Tet, p0, p1, p2, top)
+	m.AddCell(Tet, p0, p2, p1, bot)
+	surf := ExternalFaces(m)
+	if surf.NumTris() != 6 {
+		t.Errorf("two-tet surface has %d tris, want 6", surf.NumTris())
+	}
+}
+
+func TestGridExternalFaces(t *testing.T) {
+	g := mustCube(t, 3)
+	f := g.AddPointField("e")
+	for i := range f {
+		f[i] = float64(i)
+	}
+	surf, err := GridExternalFaces(g, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 faces x 3x3 quads x 2 tris = 108 triangles.
+	if surf.NumTris() != 108 {
+		t.Errorf("grid surface has %d tris, want 108", surf.NumTris())
+	}
+	// Boundary points only: 4^3 - 2^3 interior = 64 - 8 = 56.
+	if surf.NumPoints() != 56 {
+		t.Errorf("grid surface has %d points, want 56", surf.NumPoints())
+	}
+	if err := surf.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := GridExternalFaces(g, "missing"); err == nil {
+		t.Error("accepted missing field")
+	}
+}
+
+func TestGridExternalFacesFromCellField(t *testing.T) {
+	g := mustCube(t, 2)
+	cf := g.AddCellField("e")
+	for i := range cf {
+		cf[i] = 1
+	}
+	surf, err := GridExternalFaces(g, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range surf.Scalars {
+		if !almostEq(s, 1, 1e-12) {
+			t.Fatalf("recentered scalar = %v, want 1", s)
+		}
+	}
+}

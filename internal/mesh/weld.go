@@ -1,0 +1,39 @@
+package mesh
+
+// WeldPoints merges coincident points of an unstructured mesh (within tol)
+// and rewrites the connectivity, returning the welded mesh. Filters that
+// assemble cells from independently-clipped tetrahedra produce duplicated
+// vertices along shared faces; welding restores shared connectivity so
+// interior faces pair up in ExternalFaces.
+func WeldPoints(m *UnstructuredMesh, tol float64) *UnstructuredMesh {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	inv := 1 / tol
+	type key [3]int64
+	quant := func(p Vec3) key {
+		return key{int64(p[0]*inv + 0.5), int64(p[1]*inv + 0.5), int64(p[2]*inv + 0.5)}
+	}
+	out := NewUnstructuredMesh()
+	remap := make([]int32, len(m.Points))
+	seen := make(map[key]int32, len(m.Points))
+	for i, p := range m.Points {
+		k := quant(p)
+		if id, ok := seen[k]; ok {
+			remap[i] = id
+			continue
+		}
+		id := out.AddPoint(p, m.Scalars[i])
+		seen[k] = id
+		remap[i] = id
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		t, conn := m.Cell(c)
+		newConn := make([]int32, len(conn))
+		for j, v := range conn {
+			newConn[j] = remap[v]
+		}
+		out.AddCell(t, newConn...)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+)
+
+// ExampleCompute reproduces the paper's Section V-A arithmetic: halving
+// the power cap (Pratio 2) while the runtime grows only 8% (Tratio 1.08)
+// is the signature of a power-opportunity algorithm.
+func ExampleCompute() {
+	base := cpu.CapResult{CapWatts: 120, TimeSec: 33.477, FreqGHz: 2.55}
+	capped := cpu.CapResult{CapWatts: 60, TimeSec: 36.2, FreqGHz: 2.50}
+	r := metrics.Compute(base, capped)
+	fmt.Printf("Pratio %.1fX Tratio %.2fX Fratio %.2fX\n", r.Pratio, r.Tratio, r.Fratio)
+	// Output: Pratio 2.0X Tratio 1.08X Fratio 1.02X
+}
+
+// ExampleRate shows the Moreland–Oldfield efficiency metric the paper
+// uses instead of speedup (Section V-C): elements processed per second.
+func ExampleRate() {
+	cells := int64(128 * 128 * 128)
+	fmt.Printf("%.1f M elements/s\n", metrics.Rate(cells, 0.065)/1e6)
+	// Output: 32.3 M elements/s
+}
+
+// ExampleFirstSlowdownCap applies the paper's red-highlight rule: the
+// first (highest) cap whose slowdown reaches 10%.
+func ExampleFirstSlowdownCap() {
+	base := cpu.CapResult{CapWatts: 120, TimeSec: 10}
+	sweep := []cpu.CapResult{
+		{CapWatts: 120, TimeSec: 10.0},
+		{CapWatts: 80, TimeSec: 10.4},
+		{CapWatts: 60, TimeSec: 11.3},
+		{CapWatts: 40, TimeSec: 14.0},
+	}
+	fmt.Printf("%.0f W\n", metrics.FirstSlowdownCap(base, sweep))
+	// Output: 60 W
+}

@@ -1,0 +1,70 @@
+// Package metrics implements the derived quantities of the paper's
+// Section V: the power/time/frequency ratios used throughout the result
+// tables (Pratio, Tratio, Fratio), the 10%-slowdown highlighting rule of
+// Tables I–III, and the Moreland–Oldfield rate (elements per second) used
+// instead of speedup to compare cell-centered algorithms (Fig. 3).
+package metrics
+
+import "repro/internal/cpu"
+
+// Ratios are the paper's three comparison ratios against the default-power
+// (TDP) run. Pratio and Fratio put the default value in the numerator and
+// Tratio puts it in the denominator, so all ratios are >= 1 when capping
+// costs performance (Section V-A).
+type Ratios struct {
+	// Pratio = P_default / P_reduced (ratio of power caps).
+	Pratio float64
+	// Tratio = T_reduced / T_default (slowdown).
+	Tratio float64
+	// Fratio = F_default / F_reduced (frequency reduction).
+	Fratio float64
+}
+
+// Compute derives the ratios of r against the default-cap baseline.
+func Compute(base, r cpu.CapResult) Ratios {
+	out := Ratios{}
+	if r.CapWatts > 0 {
+		out.Pratio = base.CapWatts / r.CapWatts
+	}
+	if base.TimeSec > 0 {
+		out.Tratio = r.TimeSec / base.TimeSec
+	}
+	if r.FreqGHz > 0 {
+		out.Fratio = base.FreqGHz / r.FreqGHz
+	}
+	return out
+}
+
+// SlowdownThreshold is the paper's red-highlight rule: the first cap at
+// which execution time (or frequency) degrades by 10%.
+const SlowdownThreshold = 1.10
+
+// FirstSlowdownCap scans results ordered from the highest cap to the
+// lowest and returns the first (highest) cap whose Tratio meets the
+// threshold, or 0 if none does. base is the default-cap run.
+func FirstSlowdownCap(base cpu.CapResult, byCap []cpu.CapResult) float64 {
+	for _, r := range byCap {
+		if base.TimeSec > 0 && r.TimeSec/base.TimeSec >= SlowdownThreshold {
+			return r.CapWatts
+		}
+	}
+	return 0
+}
+
+// Rate is the Moreland–Oldfield throughput metric n / T(n,p): data-set
+// elements processed per second. Higher is more efficient; unlike
+// speedup it needs no serial baseline (Section V-C).
+func Rate(elements int64, timeSec float64) float64 {
+	if timeSec <= 0 {
+		return 0
+	}
+	return float64(elements) / timeSec
+}
+
+// EnergyToSolution returns the joules consumed by a governed run.
+func EnergyToSolution(r cpu.CapResult) float64 { return r.EnergyJ }
+
+// EDP returns the energy-delay product, a common power/performance
+// tradeoff figure (not in the paper's tables but used by the ablation
+// benches).
+func EDP(r cpu.CapResult) float64 { return r.EnergyJ * r.TimeSec }

@@ -1,0 +1,173 @@
+// Package msr emulates the model-specific-register interface the paper
+// uses for all measurement and control: on LLNL systems the msr-safe
+// driver exposes a curated set of 64-bit MSRs (RAPL power limits, energy
+// status, APERF/MPERF, fixed and programmable performance counters) to
+// unprivileged users. Here the registers are backed by an in-memory file
+// that the simulated processor (internal/rapl, internal/perfctr) advances,
+// while consumers go through a SafeFile gate that enforces an allowlist
+// with per-register write masks — the same discipline msr-safe enforces.
+package msr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Architectural and model-specific register addresses used by the study
+// (Intel SDM / Broadwell-EP).
+const (
+	// IA32_MPERF counts at the TSC base frequency while unhalted.
+	IA32_MPERF = 0x0E7
+	// IA32_APERF counts at the actual core frequency while unhalted.
+	// APERF/MPERF is the paper's "effective CPU frequency" metric.
+	IA32_APERF = 0x0E8
+
+	// IA32_PMC0/1 are the programmable counters; the paper programs them
+	// with last-level-cache references and misses.
+	IA32_PMC0 = 0x0C1
+	IA32_PMC1 = 0x0C2
+	// IA32_PERFEVTSEL0/1 select the events for the programmable counters.
+	IA32_PERFEVTSEL0 = 0x186
+	IA32_PERFEVTSEL1 = 0x187
+
+	// IA32_FIXED_CTR0 counts INST_RETIRED.ANY.
+	IA32_FIXED_CTR0 = 0x309
+	// IA32_FIXED_CTR1 counts CPU_CLK_UNHALTED.THREAD.
+	IA32_FIXED_CTR1 = 0x30A
+	// IA32_FIXED_CTR2 counts CPU_CLK_UNHALTED.REF_TSC.
+	IA32_FIXED_CTR2 = 0x30B
+
+	// MSR_RAPL_POWER_UNIT publishes the power/energy/time units.
+	MSR_RAPL_POWER_UNIT = 0x606
+	// MSR_PKG_POWER_LIMIT holds the enforced package power cap.
+	MSR_PKG_POWER_LIMIT = 0x610
+	// MSR_PKG_ENERGY_STATUS is the wrapping 32-bit energy accumulator.
+	MSR_PKG_ENERGY_STATUS = 0x611
+	// MSR_PKG_POWER_INFO publishes TDP and the min/max power range.
+	MSR_PKG_POWER_INFO = 0x614
+)
+
+// Event encodings for IA32_PERFEVTSELx (event | umask<<8 | USR|OS|EN bits).
+const (
+	// EvtLLCReference is LONGEST_LAT_CACHE.REFERENCE (0x2E/0x4F).
+	EvtLLCReference = 0x2E | 0x4F<<8 | 0x430000
+	// EvtLLCMiss is LONGEST_LAT_CACHE.MISS (0x2E/0x41).
+	EvtLLCMiss = 0x2E | 0x41<<8 | 0x430000
+)
+
+// File is a register file of 64-bit MSRs. The simulated hardware writes it
+// with Store; software reads and writes it through a SafeFile. A File is
+// safe for concurrent use.
+type File struct {
+	mu   sync.RWMutex
+	regs map[uint32]uint64
+}
+
+// NewFile returns an empty register file.
+func NewFile() *File {
+	return &File{regs: make(map[uint32]uint64)}
+}
+
+// Store sets a register from the hardware side (no gate, registers spring
+// into existence).
+func (f *File) Store(addr uint32, val uint64) {
+	f.mu.Lock()
+	f.regs[addr] = val
+	f.mu.Unlock()
+}
+
+// Load reads a register from the hardware side. Unimplemented registers
+// read as zero with ok=false.
+func (f *File) Load(addr uint32) (uint64, bool) {
+	f.mu.RLock()
+	v, ok := f.regs[addr]
+	f.mu.RUnlock()
+	return v, ok
+}
+
+// Add increments a register by delta (wrapping at 64 bits) and returns the
+// new value.
+func (f *File) Add(addr uint32, delta uint64) uint64 {
+	f.mu.Lock()
+	f.regs[addr] += delta
+	v := f.regs[addr]
+	f.mu.Unlock()
+	return v
+}
+
+// Add32 increments a register that wraps at 32 bits (the RAPL energy
+// status counter) and returns the new value.
+func (f *File) Add32(addr uint32, delta uint64) uint64 {
+	f.mu.Lock()
+	v := (f.regs[addr] + delta) & 0xFFFFFFFF
+	f.regs[addr] = v
+	f.mu.Unlock()
+	return v
+}
+
+// Permission describes what a SafeFile allows on one register, mirroring
+// an msr-safe allowlist entry: readable or not, and a write mask (0 means
+// read-only; bits outside the mask are preserved on write).
+type Permission struct {
+	Read      bool
+	WriteMask uint64
+}
+
+// Allowlist maps register addresses to permissions.
+type Allowlist map[uint32]Permission
+
+// StudyAllowlist returns the allowlist the paper's measurements need:
+// RAPL limit writable (its meaningful fields only), everything else
+// read-only, counters and event selects accessible.
+func StudyAllowlist() Allowlist {
+	ro := Permission{Read: true}
+	return Allowlist{
+		IA32_MPERF:            ro,
+		IA32_APERF:            ro,
+		IA32_PMC0:             ro,
+		IA32_PMC1:             ro,
+		IA32_PERFEVTSEL0:      {Read: true, WriteMask: 0xFFFFFFFF},
+		IA32_PERFEVTSEL1:      {Read: true, WriteMask: 0xFFFFFFFF},
+		IA32_FIXED_CTR0:       ro,
+		IA32_FIXED_CTR1:       ro,
+		IA32_FIXED_CTR2:       ro,
+		MSR_RAPL_POWER_UNIT:   ro,
+		MSR_PKG_POWER_LIMIT:   {Read: true, WriteMask: 0x00FFFFFF},
+		MSR_PKG_ENERGY_STATUS: ro,
+		MSR_PKG_POWER_INFO:    ro,
+	}
+}
+
+// SafeFile is the software-side handle: reads and writes are checked
+// against the allowlist, like /dev/cpu/*/msr_safe.
+type SafeFile struct {
+	file  *File
+	allow Allowlist
+}
+
+// Open returns a gated handle over file.
+func Open(file *File, allow Allowlist) *SafeFile {
+	return &SafeFile{file: file, allow: allow}
+}
+
+// Read returns the value of a register if the allowlist permits.
+func (s *SafeFile) Read(addr uint32) (uint64, error) {
+	p, ok := s.allow[addr]
+	if !ok || !p.Read {
+		return 0, fmt.Errorf("msr: read of 0x%X denied by allowlist", addr)
+	}
+	v, _ := s.file.Load(addr)
+	return v, nil
+}
+
+// Write updates the writable bits of a register if the allowlist permits.
+// Bits outside the write mask keep their current value, as msr-safe does.
+func (s *SafeFile) Write(addr uint32, val uint64) error {
+	p, ok := s.allow[addr]
+	if !ok || p.WriteMask == 0 {
+		return fmt.Errorf("msr: write of 0x%X denied by allowlist", addr)
+	}
+	cur, _ := s.file.Load(addr)
+	s.file.Store(addr, (cur&^p.WriteMask)|(val&p.WriteMask))
+	return nil
+}

@@ -1,0 +1,122 @@
+package msr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreLoad(t *testing.T) {
+	f := NewFile()
+	if _, ok := f.Load(IA32_APERF); ok {
+		t.Error("unimplemented register reported ok")
+	}
+	f.Store(IA32_APERF, 42)
+	v, ok := f.Load(IA32_APERF)
+	if !ok || v != 42 {
+		t.Errorf("Load = %d,%v want 42,true", v, ok)
+	}
+}
+
+func TestAddWraps64(t *testing.T) {
+	f := NewFile()
+	f.Store(IA32_FIXED_CTR0, ^uint64(0)-1)
+	if got := f.Add(IA32_FIXED_CTR0, 3); got != 1 {
+		t.Errorf("Add wrap = %d, want 1", got)
+	}
+}
+
+func TestAdd32Wraps(t *testing.T) {
+	f := NewFile()
+	f.Store(MSR_PKG_ENERGY_STATUS, 0xFFFFFFF0)
+	if got := f.Add32(MSR_PKG_ENERGY_STATUS, 0x20); got != 0x10 {
+		t.Errorf("Add32 wrap = %#x, want 0x10", got)
+	}
+	v, _ := f.Load(MSR_PKG_ENERGY_STATUS)
+	if v != 0x10 {
+		t.Errorf("stored value = %#x, want 0x10", v)
+	}
+}
+
+func TestSafeFileReadGate(t *testing.T) {
+	f := NewFile()
+	f.Store(IA32_APERF, 7)
+	f.Store(0x123, 9)
+	s := Open(f, StudyAllowlist())
+	if v, err := s.Read(IA32_APERF); err != nil || v != 7 {
+		t.Errorf("allowed read = %d, %v", v, err)
+	}
+	if _, err := s.Read(0x123); err == nil {
+		t.Error("read of non-allowlisted register succeeded")
+	}
+}
+
+func TestSafeFileWriteGate(t *testing.T) {
+	f := NewFile()
+	s := Open(f, StudyAllowlist())
+	if err := s.Write(IA32_APERF, 1); err == nil {
+		t.Error("write to read-only register succeeded")
+	}
+	if err := s.Write(0x123, 1); err == nil {
+		t.Error("write to non-allowlisted register succeeded")
+	}
+	if err := s.Write(IA32_PERFEVTSEL0, EvtLLCMiss); err != nil {
+		t.Errorf("allowed write failed: %v", err)
+	}
+	v, _ := f.Load(IA32_PERFEVTSEL0)
+	if v != EvtLLCMiss {
+		t.Errorf("PERFEVTSEL0 = %#x, want %#x", v, uint64(EvtLLCMiss))
+	}
+}
+
+func TestWriteMaskPreservesHighBits(t *testing.T) {
+	f := NewFile()
+	// Hardware-owned high bits of the power limit (lock bit etc.).
+	f.Store(MSR_PKG_POWER_LIMIT, 0xAB00000000000000)
+	s := Open(f, StudyAllowlist())
+	if err := s.Write(MSR_PKG_POWER_LIMIT, 0xFFFFFFFFFFFFFFFF); err != nil {
+		t.Fatalf("write failed: %v", err)
+	}
+	v, _ := f.Load(MSR_PKG_POWER_LIMIT)
+	if v>>56 != 0xAB {
+		t.Errorf("masked write clobbered high bits: %#x", v)
+	}
+	if v&0x00FFFFFF != 0x00FFFFFF {
+		t.Errorf("masked write did not set writable bits: %#x", v)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	f := NewFile()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				f.Add(IA32_FIXED_CTR0, 1)
+				f.Load(IA32_FIXED_CTR0)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	v, _ := f.Load(IA32_FIXED_CTR0)
+	if v != 4000 {
+		t.Errorf("concurrent Add total = %d, want 4000", v)
+	}
+}
+
+// Property: Add32 always leaves the register within 32 bits and behaves
+// like modular addition.
+func TestAdd32Property(t *testing.T) {
+	prop := func(start uint32, delta uint64) bool {
+		f := NewFile()
+		f.Store(MSR_PKG_ENERGY_STATUS, uint64(start))
+		got := f.Add32(MSR_PKG_ENERGY_STATUS, delta)
+		want := (uint64(start) + delta) & 0xFFFFFFFF
+		return got == want && got <= 0xFFFFFFFF
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package par is the shared-memory parallel runtime used by every
+// visualization and simulation kernel in this repository. It plays the role
+// that Intel TBB plays for VTK-m in the paper: a pool of workers executing
+// chunked parallel-for loops with dynamic load balancing.
+//
+// Kernels receive the index of the worker executing each chunk so they can
+// use per-worker scratch space and per-worker ops.Recorders without any
+// synchronization on the hot path.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of workers that execute parallel loops. A Pool is safe
+// for use from multiple goroutines, but nested For calls from inside a loop
+// body run serially on the calling worker to avoid deadlock.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with n workers. n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Default returns a pool sized to the machine (GOMAXPROCS workers).
+func Default() *Pool { return NewPool(0) }
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// DefaultGrain is the chunk size used when For is called with grain <= 0.
+// It is small enough to load-balance irregular per-cell work (contouring,
+// clipping) and large enough to amortize the scheduling atomics.
+const DefaultGrain = 1024
+
+// For executes body over the index range [0, n) split into chunks of at
+// most grain iterations. Chunks are claimed dynamically with an atomic
+// counter, so irregular work (cells that produce geometry vs. cells that do
+// not) balances across workers. body receives the chunk bounds [lo, hi) and
+// the worker index in [0, Workers()).
+//
+// For blocks until all iterations complete. If any invocation of body
+// panics, For re-panics with the first panic value after all workers stop.
+func (p *Pool) For(n, grain int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	nw := p.workers
+	if nw == 1 || n <= grain {
+		body(0, n, 0)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if nw > chunks {
+		nw = chunks
+	}
+
+	var next atomic.Int64
+	var firstPanic atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, fmt.Sprintf("par.For worker %d: %v", worker, r))
+				}
+			}()
+			for {
+				c := next.Add(1) - 1
+				if c >= int64(chunks) {
+					return
+				}
+				lo := int(c) * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi, worker)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := firstPanic.Load(); v != nil {
+		panic(v)
+	}
+}
+
+// ForEach is For with a per-index body; convenient for coarse-grained work
+// such as rendering one image per iteration.
+func (p *Pool) ForEach(n int, body func(i, worker int)) {
+	p.For(n, 1, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			body(i, worker)
+		}
+	})
+}
+
+// Reduce computes a parallel reduction over [0, n). Each worker folds its
+// chunks into a private accumulator seeded by zero(); the per-worker
+// accumulators are combined serially with merge. fold receives the chunk
+// bounds and the worker's current accumulator and returns the new one.
+func Reduce[T any](p *Pool, n, grain int, zero func() T, fold func(lo, hi int, acc T) T, merge func(a, b T) T) T {
+	nw := p.workers
+	accs := make([]T, nw)
+	used := make([]bool, nw)
+	for w := range accs {
+		accs[w] = zero()
+	}
+	// Each worker index is owned by exactly one goroutine inside For, and
+	// For's WaitGroup establishes the happens-before edge for the reads
+	// below, so no locking is needed here.
+	p.For(n, grain, func(lo, hi, worker int) {
+		accs[worker] = fold(lo, hi, accs[worker])
+		used[worker] = true
+	})
+	out := zero()
+	for w := 0; w < nw; w++ {
+		if used[w] {
+			out = merge(out, accs[w])
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Errorf("NewPool(0).Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(-3).Workers(); w < 1 {
+		t.Errorf("NewPool(-3).Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(7).Workers(); w != 7 {
+		t.Errorf("NewPool(7).Workers() = %d, want 7", w)
+	}
+	if w := Default().Workers(); w < 1 {
+		t.Errorf("Default().Workers() = %d, want >= 1", w)
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, nw := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 5, 100, 1023, 1024, 1025, 10000} {
+			p := NewPool(nw)
+			seen := make([]int32, n)
+			p.For(n, 64, func(lo, hi, worker int) {
+				if worker < 0 || worker >= nw {
+					t.Errorf("worker index %d out of range [0,%d)", worker, nw)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("nw=%d n=%d: index %d visited %d times", nw, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	p := NewPool(4)
+	calls := 0
+	p.For(0, 10, func(lo, hi, worker int) { calls++ })
+	p.For(-5, 10, func(lo, hi, worker int) { calls++ })
+	if calls != 0 {
+		t.Errorf("For on empty range invoked body %d times", calls)
+	}
+}
+
+func TestForDefaultGrain(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	p.For(5000, 0, func(lo, hi, worker int) {
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != 5000 {
+		t.Errorf("covered %d iterations, want 5000", total.Load())
+	}
+}
+
+func TestForSerialFastPath(t *testing.T) {
+	p := NewPool(4)
+	var calls int
+	var worker0 bool
+	// n <= grain must run inline in one call on worker 0.
+	p.For(10, 100, func(lo, hi, w int) {
+		calls++
+		worker0 = w == 0
+		if lo != 0 || hi != 10 {
+			t.Errorf("inline chunk = [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 || !worker0 {
+		t.Errorf("inline path: calls=%d worker0=%v", calls, worker0)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate out of For")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Errorf("unexpected panic payload: %v", r)
+		}
+	}()
+	p.For(10000, 16, func(lo, hi, worker int) {
+		if lo >= 5000 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEach(t *testing.T) {
+	p := NewPool(3)
+	seen := make([]int32, 57)
+	p.ForEach(57, func(i, worker int) {
+		atomic.AddInt32(&seen[i], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	p := NewPool(4)
+	n := 12345
+	got := Reduce(p, n, 100,
+		func() int64 { return 0 },
+		func(lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(i)
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b },
+	)
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Errorf("Reduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	p := NewPool(4)
+	got := Reduce(p, 0, 8,
+		func() int { return 7 },
+		func(lo, hi, acc int) int { return acc + 1 },
+		func(a, b int) int { return a + b },
+	)
+	if got != 7 {
+		t.Errorf("Reduce over empty range = %d, want zero() = 7", got)
+	}
+}
+
+// Property: for any worker count and range size, For covers exactly the
+// range [0, n) with no index repeated (checked via a sum that is sensitive
+// to duplicates and omissions).
+func TestForCoverageProperty(t *testing.T) {
+	f := func(nwRaw, nRaw uint16, grainRaw uint8) bool {
+		nw := int(nwRaw%8) + 1
+		n := int(nRaw % 4096)
+		grain := int(grainRaw%128) + 1
+		p := NewPool(nw)
+		var sum atomic.Int64
+		p.For(n, grain, func(lo, hi, worker int) {
+			s := int64(0)
+			for i := lo; i < hi; i++ {
+				s += int64(i) + 1
+			}
+			sum.Add(s)
+		})
+		want := int64(n) * int64(n+1) / 2
+		return sum.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

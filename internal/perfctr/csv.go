@@ -1,0 +1,23 @@
+package perfctr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits samples as CSV with a header row, the on-disk format the
+// study's measurement logs use (one row per 100 ms sampling interval).
+func WriteCSV(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s,interval_s,energy_j,power_w,eff_freq_ghz,ipc,llc_miss_rate"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(bw, "%g,%g,%g,%g,%g,%g,%g\n",
+			s.TimeSec, s.IntervalSec, s.EnergyJ, s.PowerW, s.EffFreqGHz, s.IPC, s.LLCMissRate); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,38 @@
+package perfctr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	samples := []Sample{
+		{TimeSec: 0.1, IntervalSec: 0.1, EnergyJ: 6, PowerW: 60, EffFreqGHz: 2.6, IPC: 1.2, LLCMissRate: 0.3},
+		{TimeSec: 0.2, IntervalSec: 0.1, EnergyJ: 5, PowerW: 50, EffFreqGHz: 2.2, IPC: 1.1, LLCMissRate: 0.35},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,interval_s,energy_j,power_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,0.1,6,60,2.6,1.2,0.3" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Errorf("empty CSV should be header only: %q", buf.String())
+	}
+}

@@ -1,0 +1,74 @@
+package perfctr
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+)
+
+// Failure-injection tests: the sampler must fail loudly, not silently,
+// when the msr-safe gate denies it.
+
+func TestSamplerDeniedReads(t *testing.T) {
+	file := msr.NewFile()
+	NewCounters(file, cpu.BroadwellEP())
+	// Empty allowlist: every read denied.
+	s := NewSampler(msr.Open(file, msr.Allowlist{}), cpu.BroadwellEP())
+	if err := s.Prime(0); err == nil {
+		t.Error("Prime succeeded through an empty allowlist")
+	}
+}
+
+func TestSamplerDeniedEventProgramming(t *testing.T) {
+	file := msr.NewFile()
+	NewCounters(file, cpu.BroadwellEP())
+	// Read-only allowlist: event selects cannot be written.
+	ro := msr.Allowlist{}
+	for _, reg := range []uint32{
+		msr.IA32_APERF, msr.IA32_MPERF, msr.IA32_FIXED_CTR0,
+		msr.IA32_FIXED_CTR2, msr.IA32_PMC0, msr.IA32_PMC1,
+		msr.MSR_PKG_ENERGY_STATUS,
+	} {
+		ro[reg] = msr.Permission{Read: true}
+	}
+	s := NewSampler(msr.Open(file, ro), cpu.BroadwellEP())
+	if err := s.ProgramLLCEvents(); err == nil {
+		t.Error("ProgramLLCEvents succeeded without write permission")
+	}
+}
+
+func TestSamplerPartialDenial(t *testing.T) {
+	file := msr.NewFile()
+	NewCounters(file, cpu.BroadwellEP())
+	// Allow everything except the energy counter: Prime must fail on it.
+	allow := msr.StudyAllowlist()
+	delete(allow, msr.MSR_PKG_ENERGY_STATUS)
+	s := NewSampler(msr.Open(file, allow), cpu.BroadwellEP())
+	if err := s.Prime(0); err == nil {
+		t.Error("Prime succeeded with the energy counter denied")
+	}
+}
+
+func TestSampleWithUnprogrammedPMCsReportsZeroMissRate(t *testing.T) {
+	spec := cpu.BroadwellEP()
+	file := msr.NewFile()
+	ctrs := NewCounters(file, spec)
+	s := NewSampler(msr.Open(file, msr.StudyAllowlist()), spec)
+	// Deliberately skip ProgramLLCEvents.
+	if err := s.Prime(0); err != nil {
+		t.Fatal(err)
+	}
+	ctrs.Advance(0.1, 2.0, 1e8, 1e6, 1e5)
+	sample, err := s.Sample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.LLCMissRate != 0 {
+		t.Errorf("miss rate = %v with unprogrammed PMCs, want 0", sample.LLCMissRate)
+	}
+	// Frequency and IPC still derive from the always-on counters.
+	if sample.EffFreqGHz == 0 || sample.IPC == 0 {
+		t.Errorf("fixed-counter metrics missing: %+v", sample)
+	}
+}

@@ -1,0 +1,231 @@
+package perfctr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/ops"
+	"repro/internal/rapl"
+)
+
+func testExec(flopHeavy bool) cpu.Execution {
+	var p ops.Profile
+	if flopHeavy {
+		p.Flops = 8e9
+		p.LoadBytes[ops.Resident] = 16e9
+		p.WorkingSetBytes = 16 << 20
+	} else {
+		p.Flops = 4e8
+		p.LoadBytes[ops.Stream] = 24e9
+		p.WorkingSetBytes = 140 << 20
+	}
+	p.Launches = 2
+	return cpu.Analyze(cpu.BroadwellEP(), p, 0)
+}
+
+func TestCountersAdvance(t *testing.T) {
+	file := msr.NewFile()
+	spec := cpu.BroadwellEP()
+	c := NewCounters(file, spec)
+	file.Store(msr.IA32_PERFEVTSEL0, msr.EvtLLCReference)
+	file.Store(msr.IA32_PERFEVTSEL1, msr.EvtLLCMiss)
+
+	c.Advance(1.0, 2.6, 1e9, 5e6, 1e6)
+	aperf, _ := file.Load(msr.IA32_APERF)
+	mperf, _ := file.Load(msr.IA32_MPERF)
+	if aperf != 26e8 {
+		t.Errorf("APERF = %d, want 2.6e9", aperf)
+	}
+	if mperf != 21e8 {
+		t.Errorf("MPERF = %d, want 2.1e9", mperf)
+	}
+	instr, _ := file.Load(msr.IA32_FIXED_CTR0)
+	if instr != 1e9 {
+		t.Errorf("FIXED_CTR0 = %d, want 1e9", instr)
+	}
+	pmc0, _ := file.Load(msr.IA32_PMC0)
+	pmc1, _ := file.Load(msr.IA32_PMC1)
+	if pmc0 != 5e6 || pmc1 != 1e6 {
+		t.Errorf("PMC0/1 = %d/%d, want 5e6/1e6", pmc0, pmc1)
+	}
+	// Zero/negative dt is a no-op.
+	c.Advance(0, 2.6, 1e9, 1, 1)
+	if v, _ := file.Load(msr.IA32_FIXED_CTR0); v != 1e9 {
+		t.Error("Advance with dt=0 changed counters")
+	}
+}
+
+func TestCountersFractionalCarry(t *testing.T) {
+	file := msr.NewFile()
+	c := NewCounters(file, cpu.BroadwellEP())
+	// 1000 advances of 0.5 instructions each = 500 total.
+	for i := 0; i < 1000; i++ {
+		c.Advance(1e-9, 2.1, 0.5, 0, 0)
+	}
+	v, _ := file.Load(msr.IA32_FIXED_CTR0)
+	if v < 499 || v > 501 {
+		t.Errorf("fractional instruction carry = %d, want ~500", v)
+	}
+}
+
+func TestUnprogrammedPMCsStayZero(t *testing.T) {
+	file := msr.NewFile()
+	c := NewCounters(file, cpu.BroadwellEP())
+	c.Advance(1, 2.0, 100, 50, 10)
+	pmc0, _ := file.Load(msr.IA32_PMC0)
+	if pmc0 != 0 {
+		t.Errorf("unprogrammed PMC0 = %d, want 0", pmc0)
+	}
+}
+
+func TestSamplerRequiresPrime(t *testing.T) {
+	file := msr.NewFile()
+	NewCounters(file, cpu.BroadwellEP())
+	s := NewSampler(msr.Open(file, msr.StudyAllowlist()), cpu.BroadwellEP())
+	if _, err := s.Sample(1); err == nil {
+		t.Error("Sample before Prime succeeded")
+	}
+}
+
+func TestSamplerDerivedMetrics(t *testing.T) {
+	spec := cpu.BroadwellEP()
+	pkg := rapl.NewPackage(msr.NewFile(), spec)
+	file := pkg.File()
+	ctrs := NewCounters(file, spec)
+	s := NewSampler(msr.Open(file, msr.StudyAllowlist()), spec)
+	if err := s.ProgramLLCEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prime(0); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate 0.1 s at 2.4 GHz, 60 W, 1e9 instructions, 4e6 refs, 1e6
+	// misses.
+	pkg.AccumulateEnergy(60 * 0.1)
+	ctrs.Advance(0.1, 2.4, 1e9, 4e6, 1e6)
+	sample, err := s.Sample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sample.PowerW-60) > 0.1 {
+		t.Errorf("PowerW = %v, want ~60", sample.PowerW)
+	}
+	if math.Abs(sample.EffFreqGHz-2.4) > 0.01 {
+		t.Errorf("EffFreqGHz = %v, want ~2.4", sample.EffFreqGHz)
+	}
+	wantIPC := 1e9 / (2.4e9 * 0.1 * float64(spec.Cores))
+	if math.Abs(sample.IPC-wantIPC) > 0.01*wantIPC {
+		t.Errorf("IPC = %v, want ~%v", sample.IPC, wantIPC)
+	}
+	if math.Abs(sample.LLCMissRate-0.25) > 0.01 {
+		t.Errorf("LLCMissRate = %v, want 0.25", sample.LLCMissRate)
+	}
+}
+
+func TestSamplerEnergyWrap(t *testing.T) {
+	spec := cpu.BroadwellEP()
+	pkg := rapl.NewPackage(msr.NewFile(), spec)
+	file := pkg.File()
+	// Put the energy counter near the 32-bit top so one interval wraps.
+	file.Store(msr.MSR_PKG_ENERGY_STATUS, 0xFFFFFF00)
+	NewCounters(file, spec)
+	s := NewSampler(msr.Open(file, msr.StudyAllowlist()), spec)
+	if err := s.Prime(0); err != nil {
+		t.Fatal(err)
+	}
+	pkg.AccumulateEnergy(10) // 10 J -> wraps the counter
+	sample, err := s.Sample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sample.EnergyJ-10) > 0.001 {
+		t.Errorf("wrapped EnergyJ = %v, want ~10", sample.EnergyJ)
+	}
+	if math.Abs(sample.PowerW-100) > 0.1 {
+		t.Errorf("wrapped PowerW = %v, want ~100", sample.PowerW)
+	}
+}
+
+func TestTraceSingleSegment(t *testing.T) {
+	spec := cpu.BroadwellEP()
+	pkg := rapl.NewPackage(msr.NewFile(), spec)
+	if err := pkg.SetLimitWatts(80); err != nil {
+		t.Fatal(err)
+	}
+	e := testExec(true)
+	samples, results, err := Trace(pkg, []cpu.Execution{e}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Total sampled energy must match the governed P*T.
+	var totalE float64
+	for _, s := range samples {
+		totalE += s.EnergyJ
+	}
+	if math.Abs(totalE-r.EnergyJ) > 0.01*r.EnergyJ+0.01 {
+		t.Errorf("sampled energy %v J vs governed %v J", totalE, r.EnergyJ)
+	}
+	// Steady-state samples report the governed power and frequency.
+	mid := samples[len(samples)/2]
+	if math.Abs(mid.PowerW-r.PowerWatts) > 0.5 {
+		t.Errorf("mid-sample power %v vs governed %v", mid.PowerW, r.PowerWatts)
+	}
+	if math.Abs(mid.EffFreqGHz-r.FreqGHz) > 0.01 {
+		t.Errorf("mid-sample freq %v vs governed %v", mid.EffFreqGHz, r.FreqGHz)
+	}
+	// Sample timestamps increase.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeSec <= samples[i-1].TimeSec {
+			t.Fatalf("non-increasing timestamps at %d", i)
+		}
+	}
+}
+
+func TestTraceAlternatingSegmentsShowPhases(t *testing.T) {
+	// An in situ pipeline: compute-heavy then memory-bound segments under
+	// one cap. The power trace must show two distinct levels.
+	spec := cpu.BroadwellEP()
+	pkg := rapl.NewPackage(msr.NewFile(), spec)
+	hot := testExec(true)
+	cold := testExec(false)
+	samples, results, err := Trace(pkg, []cpu.Execution{hot, cold}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].PowerWatts <= results[1].PowerWatts {
+		t.Errorf("hot segment power %v <= cold %v", results[0].PowerWatts, results[1].PowerWatts)
+	}
+	// Find min/max sample power; they must differ by > 10 W.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if s.IntervalSec < 0.04 {
+			continue // partial boundary samples
+		}
+		lo = math.Min(lo, s.PowerW)
+		hi = math.Max(hi, s.PowerW)
+	}
+	if hi-lo < 10 {
+		t.Errorf("phase power levels too close: [%v, %v]", lo, hi)
+	}
+}
+
+func TestTraceDefaultInterval(t *testing.T) {
+	spec := cpu.BroadwellEP()
+	pkg := rapl.NewPackage(msr.NewFile(), spec)
+	_, _, err := Trace(pkg, []cpu.Execution{testExec(false)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

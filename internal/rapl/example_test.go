@@ -1,0 +1,38 @@
+package rapl_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/rapl"
+)
+
+// Example shows the register-level capping flow the paper's harness uses:
+// program a watt limit into MSR_PKG_POWER_LIMIT, let the governor pick
+// the frequency, and read energy back through the wrapping counter.
+func Example() {
+	pkg := rapl.NewPackage(msr.NewFile(), cpu.BroadwellEP())
+	if err := pkg.SetLimitWatts(65); err != nil {
+		panic(err)
+	}
+	fmt.Printf("limit: %.1f W (enforced %.1f W)\n", pkg.LimitWatts(), pkg.EffectiveCapWatts())
+
+	before := pkg.EnergyCounter()
+	pkg.AccumulateEnergy(6.5) // 100 ms at 65 W
+	after := pkg.EnergyCounter()
+	fmt.Printf("interval energy: %.2f J\n", rapl.EnergyDeltaJoules(before, after))
+	// Output:
+	// limit: 65.0 W (enforced 65.0 W)
+	// interval energy: 6.50 J
+}
+
+// ExampleEnergyDeltaJoules demonstrates the 32-bit wraparound arithmetic
+// every RAPL sampler must get right.
+func ExampleEnergyDeltaJoules() {
+	before := uint64(0xFFFFFFF0) // counter near the top
+	after := uint64(0x00000010)  // wrapped
+	units := rapl.EnergyDeltaJoules(before, after) / rapl.EnergyUnitJoules()
+	fmt.Printf("%.0f units\n", units)
+	// Output: 32 units
+}

@@ -1,0 +1,169 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/ops"
+)
+
+func newPkg() *Package {
+	return NewPackage(msr.NewFile(), cpu.BroadwellEP())
+}
+
+func TestNewPackageInitializesRegisters(t *testing.T) {
+	p := newPkg()
+	f := p.File()
+	if v, ok := f.Load(msr.MSR_RAPL_POWER_UNIT); !ok || v == 0 {
+		t.Errorf("POWER_UNIT = %#x, %v", v, ok)
+	}
+	info, _ := f.Load(msr.MSR_PKG_POWER_INFO)
+	if tdp := float64(info&0x7FFF) / 8; tdp != 120 {
+		t.Errorf("POWER_INFO TDP = %v, want 120", tdp)
+	}
+	if got := p.LimitWatts(); got != 120 {
+		t.Errorf("default limit = %v, want TDP 120", got)
+	}
+}
+
+func TestSetLimitRoundTrip(t *testing.T) {
+	p := newPkg()
+	for _, w := range []float64{40, 47.5, 70, 120} {
+		if err := p.SetLimitWatts(w); err != nil {
+			t.Fatalf("SetLimitWatts(%v): %v", w, err)
+		}
+		if got := p.LimitWatts(); math.Abs(got-w) > 0.0626 {
+			t.Errorf("LimitWatts after set %v = %v", w, got)
+		}
+	}
+}
+
+func TestSetLimitRejectsGarbage(t *testing.T) {
+	p := newPkg()
+	for _, w := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		if err := p.SetLimitWatts(w); err == nil {
+			t.Errorf("SetLimitWatts(%v) accepted", w)
+		}
+	}
+}
+
+func TestEffectiveCapClampsToFloor(t *testing.T) {
+	p := newPkg()
+	if err := p.SetLimitWatts(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EffectiveCapWatts(); got != 40 {
+		t.Errorf("EffectiveCapWatts = %v, want 40 (hardware floor)", got)
+	}
+}
+
+func TestLimitDisabledMeansTDP(t *testing.T) {
+	p := newPkg()
+	p.File().Store(msr.MSR_PKG_POWER_LIMIT, 0) // enable bit clear
+	if got := p.LimitWatts(); got != 120 {
+		t.Errorf("disabled limit = %v, want TDP", got)
+	}
+}
+
+func TestEnergyAccumulation(t *testing.T) {
+	p := newPkg()
+	// 1 J = 2^14 units.
+	p.AccumulateEnergy(1.0)
+	if got := p.EnergyCounter(); got != 1<<14 {
+		t.Errorf("counter after 1 J = %d, want %d", got, 1<<14)
+	}
+	// Sub-unit amounts must carry, not vanish: 1000 * 30.5 µJ = 30.5 mJ
+	// = 500 units.
+	p2 := newPkg()
+	for i := 0; i < 1000; i++ {
+		p2.AccumulateEnergy(30.5e-6)
+	}
+	want := uint64(30.5e-3 * math.Exp2(14))
+	got := p2.EnergyCounter()
+	if got < want-1 || got > want+1 {
+		t.Errorf("fractional accumulation = %d units, want ~%d", got, want)
+	}
+	// Negative/zero energy is ignored.
+	before := p2.EnergyCounter()
+	p2.AccumulateEnergy(-1)
+	p2.AccumulateEnergy(0)
+	if p2.EnergyCounter() != before {
+		t.Error("non-positive energy changed the counter")
+	}
+}
+
+func TestEnergyDeltaWrap(t *testing.T) {
+	if got := EnergyDeltaJoules(100, 200); math.Abs(got-100*EnergyUnitJoules()) > 1e-12 {
+		t.Errorf("simple delta = %v", got)
+	}
+	// Wraparound: before near the top, after small.
+	before := uint64(0xFFFFFF00)
+	after := uint64(0x00000100)
+	want := float64(0x200) * EnergyUnitJoules()
+	if got := EnergyDeltaJoules(before, after); math.Abs(got-want) > 1e-12 {
+		t.Errorf("wrapped delta = %v, want %v", got, want)
+	}
+}
+
+func TestGovernHonorsLimit(t *testing.T) {
+	p := newPkg()
+	var prof ops.Profile
+	prof.Flops = 8e9
+	prof.LoadBytes[ops.Resident] = 16e9
+	prof.WorkingSetBytes = 16 << 20
+	prof.Launches = 2
+	e := cpu.Analyze(p.Spec(), prof, 0)
+
+	if err := p.SetLimitWatts(120); err != nil {
+		t.Fatal(err)
+	}
+	full := p.Govern(e)
+	if err := p.SetLimitWatts(50); err != nil {
+		t.Fatal(err)
+	}
+	capped := p.Govern(e)
+	if capped.FreqGHz >= full.FreqGHz {
+		t.Errorf("compute-bound run not throttled: %v vs %v GHz", capped.FreqGHz, full.FreqGHz)
+	}
+	if capped.PowerWatts > 50+1e-9 && capped.FreqGHz > p.Spec().MinGHz {
+		t.Errorf("governed power %v exceeds 50 W cap", capped.PowerWatts)
+	}
+	if capped.TimeSec <= full.TimeSec {
+		t.Errorf("throttled run not slower: %v vs %v s", capped.TimeSec, full.TimeSec)
+	}
+}
+
+// Property: for any split of a total energy amount into chunks, the
+// counter ends at the same value (the fractional carry loses nothing).
+func TestEnergyAccumulationSplitProperty(t *testing.T) {
+	prop := func(chunks []float64) bool {
+		if len(chunks) == 0 || len(chunks) > 50 {
+			return true
+		}
+		total := 0.0
+		p1 := newPkg()
+		for _, c := range chunks {
+			c = math.Abs(math.Mod(c, 10))
+			if math.IsNaN(c) {
+				c = 0
+			}
+			total += c
+			p1.AccumulateEnergy(c)
+		}
+		p2 := newPkg()
+		p2.AccumulateEnergy(total)
+		d1, d2 := p1.EnergyCounter(), p2.EnergyCounter()
+		diff := int64(d1) - int64(d2)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Allow 1 unit of rounding play per comparison.
+		return diff <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

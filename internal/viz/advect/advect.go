@@ -1,0 +1,213 @@
+// Package advect implements the study's particle-advection algorithm:
+// massless particles seeded throughout the data set are advected through
+// a steady-state vector field with fourth-order Runge–Kutta integration
+// for a fixed number of fixed-length steps, producing streamlines.
+// Following the paper (§VI-C3), the seed count, step length, and step
+// count are held constant regardless of the data-set size; particles that
+// leave the bounding box terminate. RK4's dense floating-point work and
+// the small per-particle memory footprint make this one of the two
+// power-sensitive (compute-bound) algorithms of the study.
+package advect
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/viz"
+)
+
+// Options configures the filter.
+type Options struct {
+	// Vector is the point vector field advected through. Default
+	// "velocity".
+	Vector string
+	// NumParticles is the seed count. Default 1024.
+	NumParticles int
+	// NumSteps is the maximum steps per particle. Default 1000.
+	NumSteps int
+	// StepLength is the integration step in world units. Default 0.002
+	// (constant across data sizes, as in the paper).
+	StepLength float64
+	// Adaptive switches from the paper's fixed-step RK4 to the embedded
+	// Bogacki–Shampine 3(2) pair with error control (an extension; see
+	// adaptive.go). StepLength becomes the initial step and NumSteps
+	// bounds both the accepted-step count and the total arc length
+	// (NumSteps × StepLength).
+	Adaptive bool
+	// Tolerance is the per-step error bound in adaptive mode.
+	// Default 1e-5 world units.
+	Tolerance float64
+}
+
+// Filter is the particle-advection algorithm.
+type Filter struct{ opts Options }
+
+// New creates a particle-advection filter.
+func New(opts Options) *Filter {
+	if opts.Vector == "" {
+		opts.Vector = "velocity"
+	}
+	if opts.NumParticles <= 0 {
+		opts.NumParticles = 1024
+	}
+	if opts.NumSteps <= 0 {
+		opts.NumSteps = 1000
+	}
+	if opts.StepLength <= 0 {
+		opts.StepLength = 0.002
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-5
+	}
+	return &Filter{opts: opts}
+}
+
+// Name implements viz.Filter.
+func (f *Filter) Name() string { return "Particle Advection" }
+
+// seeds places n particles on a jittered lattice through the bounds,
+// deterministically (a fixed linear congruential generator).
+func seeds(b mesh.Bounds, n int) []mesh.Vec3 {
+	side := 1
+	for side*side*side < n {
+		side++
+	}
+	out := make([]mesh.Vec3, 0, n)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	size := b.Size()
+	for k := 0; k < side && len(out) < n; k++ {
+		for j := 0; j < side && len(out) < n; j++ {
+			for i := 0; i < side && len(out) < n; i++ {
+				p := mesh.Vec3{
+					b.Lo[0] + size[0]*(float64(i)+0.2+0.6*next())/float64(side),
+					b.Lo[1] + size[1]*(float64(j)+0.2+0.6*next())/float64(side),
+					b.Lo[2] + size[2]*(float64(k)+0.2+0.6*next())/float64(side),
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Run implements viz.Filter.
+func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
+	if g.PointVector(f.opts.Vector) == nil {
+		return nil, fmt.Errorf("advect: grid has no point vector field %q", f.opts.Vector)
+	}
+	b := g.Bounds()
+	starts := seeds(b, f.opts.NumParticles)
+	h := f.opts.StepLength
+
+	type line struct {
+		pts []mesh.Vec3
+		spd []float64
+	}
+	lines := make([]line, len(starts))
+	cellDiag := g.Spacing.Norm()
+	crossingsByWorker := make([]uint64, ex.Pool.Workers())
+
+	ex.Rec(0).Launch()
+	ex.Pool.For(len(starts), 8, func(lo, hi, worker int) {
+		rec := ex.Rec(worker)
+		var samples, crossings, stepsTaken uint64
+		for pi := lo; pi < hi; pi++ {
+			p := starts[pi]
+			if f.opts.Adaptive {
+				apts, aspd, aSamples, aRejects := integrateAdaptive(
+					g, f.opts.Vector, p, f.opts.Tolerance, h,
+					float64(f.opts.NumSteps)*h, f.opts.NumSteps)
+				samples += aSamples
+				arc := 0.0
+				for i := 1; i < len(apts); i++ {
+					arc += apts[i].Sub(apts[i-1]).Norm()
+				}
+				crossings += uint64(arc/cellDiag) + 1
+				stepsTaken += uint64(len(apts))
+				// Rejected trials cost controller flops too.
+				rec.Flops(aRejects * 20)
+				lines[pi] = line{pts: apts, spd: aspd}
+				continue
+			}
+			pts := make([]mesh.Vec3, 0, f.opts.NumSteps/4)
+			spd := make([]float64, 0, f.opts.NumSteps/4)
+			lastCell := -1
+			v0, ok := g.SampleVector(f.opts.Vector, p)
+			if !ok {
+				continue
+			}
+			pts = append(pts, p)
+			spd = append(spd, v0.Norm())
+			for s := 0; s < f.opts.NumSteps; s++ {
+				// RK4 with four field samples.
+				k1, ok1 := g.SampleVector(f.opts.Vector, p)
+				k2, ok2 := g.SampleVector(f.opts.Vector, p.Add(k1.Scale(h/2)))
+				k3, ok3 := g.SampleVector(f.opts.Vector, p.Add(k2.Scale(h/2)))
+				k4, ok4 := g.SampleVector(f.opts.Vector, p.Add(k3.Scale(h)))
+				samples += 4
+				if !(ok1 && ok2 && ok3 && ok4) {
+					break // left the bounding box: terminate
+				}
+				delta := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(h / 6)
+				p = p.Add(delta)
+				if !b.Contains(p) {
+					break
+				}
+				stepsTaken++
+				pts = append(pts, p)
+				spd = append(spd, k1.Norm())
+				// Track cell crossings for the memory model.
+				cell := int(p.Sub(g.Origin).Norm() / cellDiag)
+				if cell != lastCell {
+					crossings++
+					lastCell = cell
+				}
+			}
+			lines[pi] = line{pts: pts, spd: spd}
+		}
+		// RK4 math: three trilinear component reconstructions (~90 flops)
+		// per sample plus the step combination; samples read a cache-hot
+		// 8-corner neighborhood (resident), and each cell crossing pulls
+		// fresh lines.
+		rec.Flops(samples*90 + stepsTaken*30)
+		rec.IntOps(samples * 24)
+		rec.Branches(samples * 6)
+		rec.Loads(samples*192, ops.Resident)
+		rec.LoadsN(crossings, 192, ops.Random)
+		rec.Stores(stepsTaken*32, ops.Stream)
+		crossingsByWorker[worker] += crossings
+	})
+
+	out := mesh.NewLineSet()
+	totalSteps := 0
+	for _, l := range lines {
+		if len(l.pts) >= 2 {
+			out.AppendLine(l.pts, l.spd)
+			totalSteps += len(l.pts)
+		}
+	}
+	// The footprint is the field data along the particle paths (capped at
+	// the full field: paths overlap) plus the streamline output. Because
+	// seed count, step length, and step count are size-independent, so is
+	// this working set — the paper's Fig. 6 flat-IPC mechanism.
+	var totalCrossings uint64
+	for _, c := range crossingsByWorker {
+		totalCrossings += c
+	}
+	pathBytes := totalCrossings * 96
+	if fieldBytes := uint64(g.NumPoints()) * 24; pathBytes > fieldBytes {
+		pathBytes = fieldBytes
+	}
+	ex.Rec(0).WorkingSet(pathBytes + uint64(totalSteps)*32)
+
+	return &viz.Result{
+		Profile:  ex.Drain(),
+		Elements: int64(g.NumCells()),
+		Lines:    out,
+	}, nil
+}

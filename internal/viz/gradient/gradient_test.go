@@ -1,0 +1,110 @@
+package gradient
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+func linGrid(t testing.TB, n int) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.AddPointField("energy")
+	for id := 0; id < g.NumPoints(); id++ {
+		p := g.PointPosition(id)
+		f[id] = 2*p[0] - 3*p[1] + 5*p[2]
+	}
+	return g
+}
+
+func TestGradientOfLinearFieldIsExact(t *testing.T) {
+	g := linGrid(t, 8)
+	res, err := New(Options{Field: "energy"}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := res.Grid.PointVector("gradient")
+	if grad == nil {
+		t.Fatal("no gradient field")
+	}
+	want := mesh.Vec3{2, -3, 5}
+	for id, v := range grad {
+		for c := 0; c < 3; c++ {
+			if math.Abs(v[c]-want[c]) > 1e-9 {
+				t.Fatalf("point %d gradient = %v, want %v", id, v, want)
+			}
+		}
+	}
+	mag := res.Grid.PointField("gradient_mag")
+	wantMag := want.Norm()
+	for id, m := range mag {
+		if math.Abs(m-wantMag) > 1e-9 {
+			t.Fatalf("point %d magnitude = %v, want %v", id, m, wantMag)
+		}
+	}
+}
+
+func TestGradientDeterministicProfile(t *testing.T) {
+	r1, err := New(Options{}).Run(linGrid(t, 6), viz.NewExec(par.NewPool(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(Options{}).Run(linGrid(t, 6), viz.NewExec(par.NewPool(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Profile != r4.Profile {
+		t.Error("profiles differ across worker counts")
+	}
+	if r1.Profile.Flops == 0 || r1.Profile.LoadBytes[1] == 0 {
+		t.Errorf("profile incomplete: %+v", r1.Profile)
+	}
+}
+
+func TestGradientRecentersCellField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := g.AddCellField("energy")
+	for i := range cf {
+		cf[i] = 1
+	}
+	res, err := New(Options{}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant field -> zero gradient.
+	for _, v := range res.Grid.PointVector("gradient") {
+		if v.Norm() > 1e-9 {
+			t.Fatalf("constant field produced gradient %v", v)
+		}
+	}
+}
+
+func TestGradientMissingField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Field: "nope"}).Run(g, viz.NewExec(par.NewPool(1))); err == nil {
+		t.Error("missing field accepted")
+	}
+}
+
+func TestGradientCustomOutputName(t *testing.T) {
+	g := linGrid(t, 4)
+	res, err := New(Options{Field: "energy", Output: "vort"}).Run(g, viz.NewExec(par.NewPool(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grid.PointVector("vort") == nil || res.Grid.PointField("vort_mag") == nil {
+		t.Error("custom output names not honored")
+	}
+}

@@ -1,0 +1,117 @@
+package histogram
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+func gradGrid(t testing.TB, n int) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := g.AddCellField("energy")
+	for c := range cf {
+		i, _, _ := g.CellIJK(c)
+		cf[c] = float64(i)
+	}
+	return g
+}
+
+func TestHistogramCountsSumToCells(t *testing.T) {
+	g := gradGrid(t, 8)
+	res, err := New(Options{Field: "energy", Bins: 16}).Run(g, viz.NewExec(par.NewPool(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histogram) != 16 {
+		t.Fatalf("bins = %d", len(res.Histogram))
+	}
+	var total int64
+	for _, c := range res.Histogram {
+		total += c
+	}
+	if total != int64(g.NumCells()) {
+		t.Errorf("histogram total = %d, want %d", total, g.NumCells())
+	}
+}
+
+func TestHistogramUniformSlabs(t *testing.T) {
+	// The field equals the x index (0..7), so 8 bins over 8 slabs each
+	// get exactly n*n*8/8 cells... i.e. one slab per bin.
+	n := 8
+	g := gradGrid(t, n)
+	res, err := New(Options{Field: "energy", Bins: 8}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n * n)
+	for b, c := range res.Histogram {
+		if c != want {
+			t.Errorf("bin %d = %d, want %d", b, c, want)
+		}
+	}
+}
+
+func TestHistogramConstantField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := g.AddCellField("energy")
+	for i := range cf {
+		cf[i] = 3.14
+	}
+	res, err := New(Options{Bins: 4}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram[0] != int64(g.NumCells()) {
+		t.Errorf("constant field histogram = %v", res.Histogram)
+	}
+}
+
+func TestHistogramDeterministicAcrossWorkers(t *testing.T) {
+	r1, err := New(Options{Bins: 32}).Run(gradGrid(t, 8), viz.NewExec(par.NewPool(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(Options{Bins: 32}).Run(gradGrid(t, 8), viz.NewExec(par.NewPool(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range r1.Histogram {
+		if r1.Histogram[b] != r4.Histogram[b] {
+			t.Fatalf("bin %d differs: %d vs %d", b, r1.Histogram[b], r4.Histogram[b])
+		}
+	}
+}
+
+func TestHistogramMissingField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Field: "nope"}).Run(g, viz.NewExec(par.NewPool(1))); err == nil {
+		t.Error("missing field accepted")
+	}
+}
+
+func TestHistogramIsPureStreamProfile(t *testing.T) {
+	g := gradGrid(t, 10)
+	res, err := New(Options{}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.LoadBytes[1]+p.LoadBytes[2]+p.LoadBytes[3] != 0 {
+		t.Errorf("histogram should only stream: %v", p.LoadBytes)
+	}
+	if p.LoadBytes[0] != uint64(g.NumCells())*8 {
+		t.Errorf("stream loads = %d", p.LoadBytes[0])
+	}
+}

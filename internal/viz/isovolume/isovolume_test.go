@@ -1,0 +1,157 @@
+package isovolume
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+func meshVolume(m *mesh.UnstructuredMesh) float64 {
+	total := 0.0
+	for c := 0; c < m.NumCells(); c++ {
+		ct, conn := m.Cell(c)
+		switch ct {
+		case mesh.Tet:
+			var t viz.Tet
+			for k := 0; k < 4; k++ {
+				t.P[k] = m.Points[conn[k]]
+			}
+			total += t.Volume()
+		case mesh.Hex:
+			for _, tet := range viz.HexTets {
+				var t viz.Tet
+				for k := 0; k < 4; k++ {
+					t.P[k] = m.Points[conn[tet[k]]]
+				}
+				total += t.Volume()
+			}
+		}
+	}
+	return total
+}
+
+// xGrid has point field equal to the x coordinate, so isovolumes are
+// exact slabs.
+func xGrid(t testing.TB, n int) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.AddPointField("energy")
+	for id := 0; id < g.NumPoints(); id++ {
+		f[id] = g.PointPosition(id)[0]
+	}
+	return g
+}
+
+func TestIsovolumeExactSlabVolume(t *testing.T) {
+	g := xGrid(t, 10)
+	res, err := New(Options{Field: "energy", Lo: 0.3, Hi: 0.7}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cells.Validate(); err != nil {
+		t.Fatalf("invalid output: %v", err)
+	}
+	got := meshVolume(res.Cells)
+	// A linear field cut by two planes: volume is exactly 0.4 (linear
+	// interpolation reproduces planes exactly).
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("isovolume volume = %v, want 0.4 exactly", got)
+	}
+}
+
+func TestIsovolumeScalarsWithinRange(t *testing.T) {
+	g := xGrid(t, 8)
+	res, err := New(Options{Field: "energy", Lo: 0.25, Hi: 0.75}).Run(g, viz.NewExec(par.NewPool(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Cells.Scalars {
+		if s < 0.25-1e-9 || s > 0.75+1e-9 {
+			t.Fatalf("output scalar %v outside [0.25, 0.75]", s)
+		}
+	}
+}
+
+func TestIsovolumeEmptyRangeRejected(t *testing.T) {
+	g := xGrid(t, 4)
+	if _, err := New(Options{Field: "energy", Lo: 0.7, Hi: 0.3}).Run(g, viz.NewExec(par.NewPool(1))); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestIsovolumeDefaults(t *testing.T) {
+	g := xGrid(t, 8)
+	res, err := New(Options{}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default [40%, 90%] of [0,1]: volume 0.5.
+	got := meshVolume(res.Cells)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("default isovolume volume = %v, want 0.5", got)
+	}
+}
+
+func TestIsovolumeMissingField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Field: "nope"}).Run(g, viz.NewExec(par.NewPool(1))); err == nil {
+		t.Error("missing field accepted")
+	}
+}
+
+func TestIsovolumeAllInside(t *testing.T) {
+	g := xGrid(t, 6)
+	res, err := New(Options{Field: "energy", Lo: -10, Hi: 10}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells.NumCells() != g.NumCells() {
+		t.Errorf("all-inside kept %d of %d cells", res.Cells.NumCells(), g.NumCells())
+	}
+	for i := 0; i < res.Cells.NumCells(); i++ {
+		if ct, _ := res.Cells.Cell(i); ct != mesh.Hex {
+			t.Fatal("all-inside cell not passed through as hex")
+		}
+	}
+}
+
+func TestIsovolumeDeterministicAcrossWorkers(t *testing.T) {
+	opt := Options{Field: "energy", Lo: 0.2, Hi: 0.6}
+	r1, err := New(opt).Run(xGrid(t, 8), viz.NewExec(par.NewPool(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(opt).Run(xGrid(t, 8), viz.NewExec(par.NewPool(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cells.NumCells() != r4.Cells.NumCells() {
+		t.Errorf("cells differ: %d vs %d", r1.Cells.NumCells(), r4.Cells.NumCells())
+	}
+	if math.Abs(meshVolume(r1.Cells)-meshVolume(r4.Cells)) > 1e-12 {
+		t.Error("volume differs across worker counts")
+	}
+}
+
+func TestIsovolumeProfileStridedHeavy(t *testing.T) {
+	g := xGrid(t, 10)
+	res, err := New(Options{Field: "energy", Lo: 0.3, Hi: 0.7}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	// Corner gathers dominate: strided loads exceed stream loads
+	// (ops.Strided == 1, ops.Stream == 0).
+	if p.LoadBytes[1] <= p.LoadBytes[0] {
+		t.Errorf("expected strided-dominated loads: %v", p.LoadBytes)
+	}
+}

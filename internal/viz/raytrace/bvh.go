@@ -1,0 +1,225 @@
+package raytrace
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// BVH is a bounding-volume hierarchy over the triangles of a TriMesh,
+// built with median splits on the longest centroid-bounds axis — the
+// "spatial acceleration structure" the paper's ray tracer builds each
+// cycle before tracing.
+type BVH struct {
+	nodes []bvhNode
+	// order holds triangle indices grouped by leaf.
+	order []int32
+}
+
+type bvhNode struct {
+	bounds      mesh.Bounds
+	left, right int32 // children when count == 0
+	start, num  int32 // leaf triangle range in order when num > 0
+}
+
+// maxLeafTris is the leaf size; small leaves favor traversal flops over
+// triangle tests, like production tracers.
+const maxLeafTris = 4
+
+// BuildBVH constructs the hierarchy. It returns nil for an empty mesh.
+func BuildBVH(m *mesh.TriMesh) *BVH {
+	n := m.NumTris()
+	if n == 0 {
+		return nil
+	}
+	b := &BVH{order: make([]int32, n)}
+	cents := make([]mesh.Vec3, n)
+	boxes := make([]mesh.Bounds, n)
+	for i, tr := range m.Tris {
+		p0, p1, p2 := m.Points[tr[0]], m.Points[tr[1]], m.Points[tr[2]]
+		bb := mesh.EmptyBounds()
+		bb.Extend(p0)
+		bb.Extend(p1)
+		bb.Extend(p2)
+		boxes[i] = bb
+		cents[i] = p0.Add(p1).Add(p2).Scale(1.0 / 3)
+		b.order[i] = int32(i)
+	}
+	b.build(0, n, cents, boxes)
+	return b
+}
+
+// build recursively partitions order[lo:hi] and returns the node index.
+func (b *BVH) build(lo, hi int, cents []mesh.Vec3, boxes []mesh.Bounds) int32 {
+	bb := mesh.EmptyBounds()
+	cb := mesh.EmptyBounds()
+	for _, ti := range b.order[lo:hi] {
+		bb.Union(boxes[ti])
+		cb.Extend(cents[ti])
+	}
+	idx := int32(len(b.nodes))
+	b.nodes = append(b.nodes, bvhNode{bounds: bb})
+	if hi-lo <= maxLeafTris {
+		b.nodes[idx].start = int32(lo)
+		b.nodes[idx].num = int32(hi - lo)
+		return idx
+	}
+	// Longest axis of the centroid bounds; median split.
+	size := cb.Size()
+	axis := 0
+	if size[1] > size[axis] {
+		axis = 1
+	}
+	if size[2] > size[axis] {
+		axis = 2
+	}
+	seg := b.order[lo:hi]
+	mid := len(seg) / 2
+	sort.Slice(seg, func(i, j int) bool {
+		return cents[seg[i]][axis] < cents[seg[j]][axis]
+	})
+	if cents[seg[0]][axis] == cents[seg[len(seg)-1]][axis] {
+		// Degenerate spread: force an even split to guarantee progress.
+		mid = len(seg) / 2
+	}
+	left := b.build(lo, lo+mid, cents, boxes)
+	right := b.build(lo+mid, hi, cents, boxes)
+	b.nodes[idx].left = left
+	b.nodes[idx].right = right
+	return idx
+}
+
+// NumNodes returns the node count (for size accounting).
+func (b *BVH) NumNodes() int { return len(b.nodes) }
+
+// TraverseStats counts the work one ray performed, feeding the operation
+// recorders.
+type TraverseStats struct {
+	NodesVisited int
+	TriTests     int
+}
+
+// rayBox is the slab test; returns whether [tmin, tmax] of the ray
+// intersects the box before tBest.
+func rayBox(orig, invDir mesh.Vec3, bb mesh.Bounds, tBest float64) bool {
+	t0, t1 := 0.0, tBest
+	for a := 0; a < 3; a++ {
+		ta := (bb.Lo[a] - orig[a]) * invDir[a]
+		tb := (bb.Hi[a] - orig[a]) * invDir[a]
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1 {
+			return false
+		}
+	}
+	return true
+}
+
+// triIntersect is the Möller–Trumbore ray/triangle test. It returns the
+// hit parameter and barycentrics, or ok=false.
+func triIntersect(orig, dir, p0, p1, p2 mesh.Vec3) (t, u, v float64, ok bool) {
+	e1 := p1.Sub(p0)
+	e2 := p2.Sub(p0)
+	pvec := dir.Cross(e2)
+	det := e1.Dot(pvec)
+	if math.Abs(det) < 1e-15 {
+		return 0, 0, 0, false
+	}
+	inv := 1 / det
+	tvec := orig.Sub(p0)
+	u = tvec.Dot(pvec) * inv
+	if u < 0 || u > 1 {
+		return 0, 0, 0, false
+	}
+	qvec := tvec.Cross(e1)
+	v = dir.Dot(qvec) * inv
+	if v < 0 || u+v > 1 {
+		return 0, 0, 0, false
+	}
+	t = e2.Dot(qvec) * inv
+	if t <= 1e-12 {
+		return 0, 0, 0, false
+	}
+	return t, u, v, true
+}
+
+// Hit describes the nearest intersection of a ray with the mesh.
+type Hit struct {
+	T    float64
+	Tri  int32
+	U, V float64
+}
+
+// Intersect finds the nearest triangle hit by the ray, accumulating
+// traversal statistics into stats (which may be nil).
+func (b *BVH) Intersect(m *mesh.TriMesh, orig, dir mesh.Vec3, stats *TraverseStats) (Hit, bool) {
+	if b == nil || len(b.nodes) == 0 {
+		return Hit{}, false
+	}
+	invDir := mesh.Vec3{safeInv(dir[0]), safeInv(dir[1]), safeInv(dir[2])}
+	best := Hit{T: math.Inf(1), Tri: -1}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	nodes, tris := 0, 0
+	for sp > 0 {
+		sp--
+		node := &b.nodes[stack[sp]]
+		nodes++
+		if !rayBox(orig, invDir, node.bounds, best.T) {
+			continue
+		}
+		if node.num > 0 {
+			for _, ti := range b.order[node.start : node.start+node.num] {
+				tris++
+				tr := m.Tris[ti]
+				t, u, v, ok := triIntersect(orig, dir, m.Points[tr[0]], m.Points[tr[1]], m.Points[tr[2]])
+				if ok && t < best.T {
+					best = Hit{T: t, Tri: ti, U: u, V: v}
+				}
+			}
+			continue
+		}
+		if sp+2 <= len(stack) {
+			stack[sp] = node.left
+			sp++
+			stack[sp] = node.right
+			sp++
+		}
+	}
+	if stats != nil {
+		stats.NodesVisited += nodes
+		stats.TriTests += tris
+	}
+	return best, best.Tri >= 0
+}
+
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return 1 / x
+}
+
+// BruteForceIntersect finds the nearest hit by testing every triangle,
+// with no acceleration structure. It exists as the correctness oracle for
+// the BVH and as the baseline of the acceleration ablation benchmark.
+func BruteForceIntersect(m *mesh.TriMesh, orig, dir mesh.Vec3) (Hit, bool) {
+	best := Hit{T: math.Inf(1), Tri: -1}
+	for ti, tr := range m.Tris {
+		t, u, v, ok := triIntersect(orig, dir, m.Points[tr[0]], m.Points[tr[1]], m.Points[tr[2]])
+		if ok && t < best.T {
+			best = Hit{T: t, Tri: int32(ti), U: u, V: v}
+		}
+	}
+	return best, best.Tri >= 0
+}

@@ -1,0 +1,141 @@
+package slice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+func energyGrid(t testing.TB, n int) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.AddPointField("energy")
+	for id := 0; id < g.NumPoints(); id++ {
+		p := g.PointPosition(id)
+		f[id] = p[0]*p[0] + p[1] + 2*p[2]
+	}
+	return g
+}
+
+func TestThreeSliceVerticesOnPlanes(t *testing.T) {
+	g := energyGrid(t, 10)
+	res, err := New(Options{Field: "energy"}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tris.NumTris() == 0 {
+		t.Fatal("no slice triangles")
+	}
+	if err := res.Tris.Validate(); err != nil {
+		t.Fatalf("invalid output: %v", err)
+	}
+	// Every output point lies on one of the three center planes.
+	for _, p := range res.Tris.Points {
+		d := math.Min(math.Abs(p[0]-0.5), math.Min(math.Abs(p[1]-0.5), math.Abs(p[2]-0.5)))
+		if d > 1e-9 {
+			t.Fatalf("slice vertex %v not on any center plane", p)
+		}
+	}
+}
+
+func TestThreeSliceAreaMatchesPlanes(t *testing.T) {
+	g := energyGrid(t, 12)
+	res, err := New(Options{Field: "energy"}).Run(g, viz.NewExec(par.NewPool(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := 0.0
+	for _, tr := range res.Tris.Tris {
+		a := res.Tris.Points[tr[0]]
+		b := res.Tris.Points[tr[1]]
+		c := res.Tris.Points[tr[2]]
+		area += b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+	}
+	// Three unit-square cuts through the unit cube: total area 3.
+	if math.Abs(area-3) > 0.05 {
+		t.Errorf("slice area = %v, want ~3", area)
+	}
+}
+
+func TestSliceCarriesDataField(t *testing.T) {
+	g := energyGrid(t, 8)
+	res, err := New(Options{Field: "energy"}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.PointField("energy")
+	lo, hi := mesh.FieldRange(f)
+	for _, s := range res.Tris.Scalars {
+		if s < lo-1e-9 || s > hi+1e-9 {
+			t.Fatalf("carried scalar %v outside field range [%v, %v]", s, lo, hi)
+		}
+	}
+	// Scalars must vary (they carry the data field, not the distance
+	// field, which would be all zeros).
+	slo, shi := mesh.FieldRange(res.Tris.Scalars)
+	if shi-slo < 1e-6 {
+		t.Error("carried scalars are constant; wrong field carried")
+	}
+}
+
+func TestSliceCustomPlane(t *testing.T) {
+	g := energyGrid(t, 8)
+	res, err := New(Options{
+		Field:  "energy",
+		Planes: []Plane{{Point: mesh.Vec3{0.25, 0, 0}, Normal: mesh.Vec3{1, 0, 0}}},
+	}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Tris.Points {
+		if math.Abs(p[0]-0.25) > 1e-9 {
+			t.Fatalf("vertex %v not on x=0.25", p)
+		}
+	}
+}
+
+func TestSliceZeroNormalRejected(t *testing.T) {
+	g := energyGrid(t, 4)
+	_, err := New(Options{
+		Field:  "energy",
+		Planes: []Plane{{Point: mesh.Vec3{0.5, 0.5, 0.5}}},
+	}).Run(g, viz.NewExec(par.NewPool(1)))
+	if err == nil {
+		t.Error("zero normal accepted")
+	}
+}
+
+func TestSliceMissingField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Field: "nope"}).Run(g, viz.NewExec(par.NewPool(1))); err == nil {
+		t.Error("missing field accepted")
+	}
+}
+
+func TestSliceProfileHasDistanceFieldCompute(t *testing.T) {
+	g := energyGrid(t, 8)
+	res, err := New(Options{Field: "energy"}).Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	// Three distance-field launches + three contour launches.
+	if p.Launches != 6 {
+		t.Errorf("Launches = %d, want 6", p.Launches)
+	}
+	// The signed-distance evaluation makes slice more flop-rich per
+	// byte than plain contour: at least 9 flops per point per plane.
+	minFlops := uint64(3 * 9 * g.NumPoints())
+	if p.Flops < minFlops {
+		t.Errorf("Flops = %d, want >= %d", p.Flops, minFlops)
+	}
+}

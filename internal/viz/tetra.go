@@ -1,0 +1,220 @@
+package viz
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// HexTets lists the 6-tetrahedron decomposition of a VTK-ordered
+// hexahedron around the 0–6 diagonal. Every tetrahedron contains corners
+// 0 and 6, so the six tets tile the cell exactly.
+var HexTets = [6][4]int{
+	{0, 1, 2, 6},
+	{0, 2, 3, 6},
+	{0, 3, 7, 6},
+	{0, 7, 4, 6},
+	{0, 4, 5, 6},
+	{0, 5, 1, 6},
+}
+
+// Tet is a tetrahedron carrying, per corner, a position, the field being
+// contoured or clipped against (D), and a second scalar carried through
+// for coloring (S).
+type Tet struct {
+	P [4]mesh.Vec3
+	D [4]float64
+	S [4]float64
+}
+
+// Volume returns the (unsigned) volume of the tetrahedron.
+func (t Tet) Volume() float64 {
+	a := t.P[1].Sub(t.P[0])
+	b := t.P[2].Sub(t.P[0])
+	c := t.P[3].Sub(t.P[0])
+	return math.Abs(a.Dot(b.Cross(c))) / 6
+}
+
+// edgeLerp returns the point, carried scalar, and parameter where the D
+// field crosses iso on the edge from corner i to corner j.
+func (t Tet) edgeLerp(i, j int, iso float64) (mesh.Vec3, float64) {
+	d0, d1 := t.D[i], t.D[j]
+	den := d1 - d0
+	u := 0.5
+	if math.Abs(den) > 1e-300 {
+		u = (iso - d0) / den
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	p := t.P[i].Lerp(t.P[j], u)
+	s := t.S[i] + u*(t.S[j]-t.S[i])
+	return p, s
+}
+
+// TriEmit receives one contour triangle: positions and carried scalars.
+type TriEmit func(p0, p1, p2 mesh.Vec3, s0, s1, s2 float64)
+
+// Contour emits the iso-surface triangles of D = iso inside the
+// tetrahedron (marching tetrahedra: 0, 1, or 2 triangles). Corners with
+// D >= iso count as "inside". Triangle winding is not normalized; the
+// consumers here shade double-sided.
+func (t Tet) Contour(iso float64, emit TriEmit) int {
+	var inside, outside [4]int
+	ni, no := 0, 0
+	for c := 0; c < 4; c++ {
+		if t.D[c] >= iso {
+			inside[ni] = c
+			ni++
+		} else {
+			outside[no] = c
+			no++
+		}
+	}
+	switch ni {
+	case 0, 4:
+		return 0
+	case 1, 3:
+		// One corner separated from the other three: one triangle on the
+		// three edges incident to the lone corner.
+		lone := inside[0]
+		others := outside
+		if ni == 3 {
+			lone = outside[0]
+			others = inside
+		}
+		p0, s0 := t.edgeLerp(lone, others[0], iso)
+		p1, s1 := t.edgeLerp(lone, others[1], iso)
+		p2, s2 := t.edgeLerp(lone, others[2], iso)
+		emit(p0, p1, p2, s0, s1, s2)
+		return 1
+	default: // 2–2 split: a quad, two triangles.
+		a, b := inside[0], inside[1]
+		c, d := outside[0], outside[1]
+		pac, sac := t.edgeLerp(a, c, iso)
+		pad, sad := t.edgeLerp(a, d, iso)
+		pbd, sbd := t.edgeLerp(b, d, iso)
+		pbc, sbc := t.edgeLerp(b, c, iso)
+		emit(pac, pad, pbd, sac, sad, sbd)
+		emit(pac, pbd, pbc, sac, sbd, sbc)
+		return 2
+	}
+}
+
+// wedgeToTets appends the 3-tet decomposition of a wedge given its six
+// corners (bottom triangle w0 w1 w2, top triangle w3 w4 w5, with wi and
+// wi+3 joined by quads).
+func wedgeToTets(out []Tet, p [6]mesh.Vec3, d, s [6]float64) []Tet {
+	idx := [3][4]int{{0, 1, 2, 3}, {1, 2, 3, 4}, {2, 3, 4, 5}}
+	for _, ix := range idx {
+		var t Tet
+		for k, i := range ix {
+			t.P[k], t.D[k], t.S[k] = p[i], d[i], s[i]
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ClipAbove appends to out the tetrahedra covering the part of t where
+// D >= iso (the "kept" half-space). It returns the extended slice. The
+// result is 0 tets (entirely below), 1 (entirely above or a corner), or 3
+// (a wedge decomposed).
+func (t Tet) ClipAbove(iso float64, out []Tet) []Tet {
+	var kept, cut [4]int
+	nk, nc := 0, 0
+	for c := 0; c < 4; c++ {
+		if t.D[c] >= iso {
+			kept[nk] = c
+			nk++
+		} else {
+			cut[nc] = c
+			nc++
+		}
+	}
+	switch nk {
+	case 0:
+		return out
+	case 4:
+		return append(out, t)
+	case 1:
+		// A small tet at the kept corner.
+		a := kept[0]
+		var nt Tet
+		nt.P[0], nt.D[0], nt.S[0] = t.P[a], t.D[a], t.S[a]
+		for k := 0; k < 3; k++ {
+			p, s := t.edgeLerp(a, cut[k], iso)
+			nt.P[k+1], nt.D[k+1], nt.S[k+1] = p, iso, s
+		}
+		return append(out, nt)
+	case 3:
+		// Tet minus the corner at the cut vertex: a wedge whose bottom
+		// triangle sits on the cut plane.
+		a := cut[0]
+		var p [6]mesh.Vec3
+		var d, s [6]float64
+		for k := 0; k < 3; k++ {
+			pp, ss := t.edgeLerp(a, kept[k], iso)
+			p[k], d[k], s[k] = pp, iso, ss
+			p[k+3], d[k+3], s[k+3] = t.P[kept[k]], t.D[kept[k]], t.S[kept[k]]
+		}
+		return wedgeToTets(out, p, d, s)
+	default: // nk == 2: a wedge between the kept edge and the cut plane.
+		a, b := kept[0], kept[1]
+		c, d0 := cut[0], cut[1]
+		var p [6]mesh.Vec3
+		var d, s [6]float64
+		p[0], d[0], s[0] = t.P[a], t.D[a], t.S[a]
+		pac, sac := t.edgeLerp(a, c, iso)
+		pad, sad := t.edgeLerp(a, d0, iso)
+		p[1], d[1], s[1] = pac, iso, sac
+		p[2], d[2], s[2] = pad, iso, sad
+		p[3], d[3], s[3] = t.P[b], t.D[b], t.S[b]
+		pbc, sbc := t.edgeLerp(b, c, iso)
+		pbd, sbd := t.edgeLerp(b, d0, iso)
+		p[4], d[4], s[4] = pbc, iso, sbc
+		p[5], d[5], s[5] = pbd, iso, sbd
+		return wedgeToTets(out, p, d, s)
+	}
+}
+
+// ClipBelow appends the tetrahedra covering the part of t where D <= iso.
+func (t Tet) ClipBelow(iso float64, out []Tet) []Tet {
+	neg := t
+	for c := 0; c < 4; c++ {
+		neg.D[c] = -neg.D[c]
+	}
+	start := len(out)
+	out = neg.ClipAbove(-iso, out)
+	// Restore the original field sign on the pieces.
+	for i := start; i < len(out); i++ {
+		for c := 0; c < 4; c++ {
+			out[i].D[c] = -out[i].D[c]
+		}
+	}
+	return out
+}
+
+// CellTets fills ts with the 6-tet decomposition of grid cell `cell`,
+// with D taken from field (a point field) and S from carry (may equal
+// field). ts must have length 6.
+func CellTets(g *mesh.UniformGrid, field, carry []float64, cell int, ts *[6]Tet) {
+	pts := g.CellPoints(cell)
+	var pos [8]mesh.Vec3
+	var dv, sv [8]float64
+	for c := 0; c < 8; c++ {
+		pos[c] = g.PointPosition(pts[c])
+		dv[c] = field[pts[c]]
+		sv[c] = carry[pts[c]]
+	}
+	for i, tet := range HexTets {
+		for k, corner := range tet {
+			ts[i].P[k] = pos[corner]
+			ts[i].D[k] = dv[corner]
+			ts[i].S[k] = sv[corner]
+		}
+	}
+}

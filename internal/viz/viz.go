@@ -1,0 +1,65 @@
+// Package viz defines the filter abstraction shared by the eight
+// visualization algorithms of the study (the role VTK-m's filter layer
+// plays in the paper) and the tetrahedral geometry kernels that the
+// cell-centered filters build on: hexahedron→tetrahedra decomposition,
+// marching-tetrahedra contouring, and half-space tetrahedron clipping.
+//
+// Every filter runs its hot loops under the par worker pool and reports
+// its work through per-worker ops.Recorders; the resulting profile is what
+// the processor model consumes to derive the paper's power/performance
+// metrics.
+package viz
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/par"
+)
+
+// Exec carries the execution context a filter runs in: the worker pool and
+// one operation recorder per worker.
+type Exec struct {
+	Pool *par.Pool
+	Recs []ops.Recorder
+}
+
+// NewExec creates an execution context over pool (nil selects the default
+// pool).
+func NewExec(pool *par.Pool) *Exec {
+	if pool == nil {
+		pool = par.Default()
+	}
+	return &Exec{Pool: pool, Recs: make([]ops.Recorder, pool.Workers())}
+}
+
+// Rec returns the recorder for a worker index.
+func (e *Exec) Rec(worker int) *ops.Recorder { return &e.Recs[worker] }
+
+// Profile merges the per-worker recorders without resetting them.
+func (e *Exec) Profile() ops.Profile { return ops.Merge(e.Recs) }
+
+// Drain merges and resets the per-worker recorders.
+func (e *Exec) Drain() ops.Profile { return ops.DrainAll(e.Recs) }
+
+// Result is a filter's output: the operation profile of the run, the
+// number of input elements processed (for the Moreland–Oldfield rate
+// metric), and the produced data set.
+type Result struct {
+	Profile  ops.Profile
+	Elements int64
+	// Exactly one of the following is set, depending on the filter.
+	Tris      *mesh.TriMesh
+	Cells     *mesh.UnstructuredMesh
+	Lines     *mesh.LineSet
+	Images    int               // count of images rendered (ray tracing, volume rendering)
+	Grid      *mesh.UniformGrid // field-producing filters (gradient)
+	Histogram []int64           // reduction filters (histogram)
+}
+
+// Filter is one visualization algorithm configured with its parameters.
+type Filter interface {
+	// Name returns the algorithm name as the paper spells it.
+	Name() string
+	// Run executes the filter over the grid.
+	Run(g *mesh.UniformGrid, ex *Exec) (*Result, error)
+}

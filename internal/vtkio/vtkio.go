@@ -1,0 +1,209 @@
+// Package vtkio writes the mesh types of this library as legacy VTK files
+// (ASCII "# vtk DataFile Version 3.0"), the lingua franca of the
+// visualization tools the paper builds on: every filter output — triangle
+// surfaces, mixed-cell unstructured grids, streamline polylines, and the
+// uniform grids themselves — can be opened directly in ParaView or VisIt.
+package vtkio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/mesh"
+)
+
+// VTK legacy cell type codes.
+const (
+	vtkTet     = 10
+	vtkHex     = 12
+	vtkWedge   = 13
+	vtkPyramid = 14
+)
+
+func cellTypeCode(t mesh.CellType) int {
+	switch t {
+	case mesh.Tet:
+		return vtkTet
+	case mesh.Hex:
+		return vtkHex
+	case mesh.Wedge:
+		return vtkWedge
+	case mesh.Pyramid:
+		return vtkPyramid
+	}
+	return 0
+}
+
+func header(w io.Writer, title, dataset string) error {
+	_, err := fmt.Fprintf(w, "# vtk DataFile Version 3.0\n%s\nASCII\nDATASET %s\n", title, dataset)
+	return err
+}
+
+func writePoints(w io.Writer, pts []mesh.Vec3) error {
+	if _, err := fmt.Fprintf(w, "POINTS %d double\n", len(pts)); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%g %g %g\n", p[0], p[1], p[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePointScalars(w io.Writer, name string, s []float64) error {
+	if len(s) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "POINT_DATA %d\nSCALARS %s double 1\nLOOKUP_TABLE default\n", len(s), name); err != nil {
+		return err
+	}
+	for _, v := range s {
+		if _, err := fmt.Fprintf(w, "%g\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTriMesh writes a triangle surface as POLYDATA with its per-point
+// scalar.
+func WriteTriMesh(w io.Writer, m *mesh.TriMesh, title, scalarName string) error {
+	bw := bufio.NewWriter(w)
+	if err := header(bw, title, "POLYDATA"); err != nil {
+		return err
+	}
+	if err := writePoints(bw, m.Points); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "POLYGONS %d %d\n", len(m.Tris), 4*len(m.Tris)); err != nil {
+		return err
+	}
+	for _, t := range m.Tris {
+		if _, err := fmt.Fprintf(bw, "3 %d %d %d\n", t[0], t[1], t[2]); err != nil {
+			return err
+		}
+	}
+	if err := writePointScalars(bw, scalarName, m.Scalars); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteUnstructured writes a mixed-cell mesh as UNSTRUCTURED_GRID.
+func WriteUnstructured(w io.Writer, m *mesh.UnstructuredMesh, title, scalarName string) error {
+	bw := bufio.NewWriter(w)
+	if err := header(bw, title, "UNSTRUCTURED_GRID"); err != nil {
+		return err
+	}
+	if err := writePoints(bw, m.Points); err != nil {
+		return err
+	}
+	total := m.NumCells() + len(m.Conn)
+	if _, err := fmt.Fprintf(bw, "CELLS %d %d\n", m.NumCells(), total); err != nil {
+		return err
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		_, conn := m.Cell(c)
+		if _, err := fmt.Fprintf(bw, "%d", len(conn)); err != nil {
+			return err
+		}
+		for _, v := range conn {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "CELL_TYPES %d\n", m.NumCells()); err != nil {
+		return err
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		t, _ := m.Cell(c)
+		if _, err := fmt.Fprintf(bw, "%d\n", cellTypeCode(t)); err != nil {
+			return err
+		}
+	}
+	if err := writePointScalars(bw, scalarName, m.Scalars); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteLineSet writes polylines (streamlines) as POLYDATA LINES.
+func WriteLineSet(w io.Writer, l *mesh.LineSet, title, scalarName string) error {
+	bw := bufio.NewWriter(w)
+	if err := header(bw, title, "POLYDATA"); err != nil {
+		return err
+	}
+	if err := writePoints(bw, l.Points); err != nil {
+		return err
+	}
+	size := 0
+	for i := 0; i < l.NumLines(); i++ {
+		lo, hi := l.Line(i)
+		size += 1 + (hi - lo)
+	}
+	if _, err := fmt.Fprintf(bw, "LINES %d %d\n", l.NumLines(), size); err != nil {
+		return err
+	}
+	for i := 0; i < l.NumLines(); i++ {
+		lo, hi := l.Line(i)
+		if _, err := fmt.Fprintf(bw, "%d", hi-lo); err != nil {
+			return err
+		}
+		for p := lo; p < hi; p++ {
+			if _, err := fmt.Fprintf(bw, " %d", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	if err := writePointScalars(bw, scalarName, l.Scalars); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteUniformGrid writes a uniform grid as STRUCTURED_POINTS with one
+// named cell field and (if present) the recentered point field of the
+// same name.
+func WriteUniformGrid(w io.Writer, g *mesh.UniformGrid, title, field string) error {
+	bw := bufio.NewWriter(w)
+	if err := header(bw, title, "STRUCTURED_POINTS"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", g.Dims[0], g.Dims[1], g.Dims[2]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "ORIGIN %g %g %g\n", g.Origin[0], g.Origin[1], g.Origin[2]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "SPACING %g %g %g\n", g.Spacing[0], g.Spacing[1], g.Spacing[2]); err != nil {
+		return err
+	}
+	if cf := g.CellField(field); cf != nil {
+		if _, err := fmt.Fprintf(bw, "CELL_DATA %d\nSCALARS %s double 1\nLOOKUP_TABLE default\n", len(cf), field); err != nil {
+			return err
+		}
+		for _, v := range cf {
+			if _, err := fmt.Fprintf(bw, "%g\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	if pf := g.PointField(field); pf != nil {
+		if err := writePointScalars(bw, field, pf); err != nil {
+			return err
+		}
+	}
+	if cf, pf := g.CellField(field), g.PointField(field); cf == nil && pf == nil {
+		return fmt.Errorf("vtkio: grid has no field %q", field)
+	}
+	return bw.Flush()
+}
