@@ -1,0 +1,32 @@
+# Build/test/benchmark wiring for the vizpower reproduction.
+#
+#   make check   - vet + build + full test suite + short race pass
+#   make race    - the short -race run on the runtime, mesh layer, and two
+#                  kernels (the packages with real cross-goroutine traffic)
+#   make bench   - the dispatch + kernel benchmarks recorded in BENCH_PR1.json
+
+GO ?= go
+
+# Packages whose tests exercise multi-worker pools and shared buffers.
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/clip ./internal/viz/threshold
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test ./internal/par -run xxx -bench 'ParFor|ReduceSum' -benchtime=2s
+	$(GO) test . -run xxx -bench 'BenchmarkKernel(Contour|SphericalClip|Isovolume|Threshold|Slice)' -benchtime 5x
+	$(GO) test . -run xxx -bench BenchmarkAblationWeld -benchtime 10x

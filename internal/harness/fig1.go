@@ -112,7 +112,7 @@ func (c *Config) renderOne(g *mesh.UniformGrid, f viz.Filter, name string, cam r
 	case res.Tris != nil:
 		return raytrace.NewScene(res.Tris).Render(cam, imgSize, imgSize, ex), nil
 	case res.Cells != nil:
-		surf := mesh.ExternalFaces(mesh.WeldPoints(res.Cells, 1e-9))
+		surf := mesh.ExternalFaces(mesh.WeldPointsPool(res.Cells, 1e-9, ex.Pool))
 		return raytrace.NewScene(surf).Render(cam, imgSize, imgSize, ex), nil
 	case res.Lines != nil:
 		im := render.NewImage(imgSize, imgSize)

@@ -1,0 +1,299 @@
+package mesh
+
+import (
+	"slices"
+
+	"repro/internal/par"
+)
+
+// This file implements the zero-allocation geometry pipeline shared by the
+// cell-centered filters (contour, slice, clip, isovolume, threshold).
+//
+// Each parallel launch leases a collector from the pool's scratch store.
+// Every chunk of the loop opens a segment (Seg) on the executing worker's
+// reusable scratch mesh and appends its geometry there; connectivity
+// emitted during a segment must reference only points appended during that
+// same segment. When the loop completes, Release performs a two-phase
+// merge: it computes each segment's extent and destination offset (sorted
+// by loop position, so output ordering matches the old serial
+// out.Append(part) loops exactly), grows the destination once to the final
+// size, then copies and renumbers all segments in parallel. The scratch
+// meshes are reset — not freed — and the collector returns to the pool, so
+// a steady-state sweep (the paper's 288-configuration experiment)
+// re-runs the whole pipeline without per-chunk heap allocation.
+
+type triCollectorKey struct{}
+type cellCollectorKey struct{}
+
+// triSeg records one chunk's slice of a worker scratch TriMesh.
+type triSeg struct {
+	lo         int // loop start index of the chunk: the merge-order key
+	w          int // worker whose scratch holds the segment
+	p0, t0     int // start offsets in the scratch
+	p1, t1     int // end offsets (filled in by Release)
+	dstP, dstT int // destination offsets (filled in by Release)
+}
+
+// triWorker is one worker's scratch mesh and segment log, padded so
+// neighboring workers do not share a cache line.
+type triWorker struct {
+	m    *TriMesh
+	segs []triSeg
+	_    [32]byte
+}
+
+// TriCollector gathers per-chunk triangle output into per-worker scratch
+// meshes and merges them with a two-phase parallel copy. Acquire one per
+// launch with AcquireTriCollector; it is not safe to share across
+// concurrent launches (each launch leases its own).
+type TriCollector struct {
+	pool *par.Pool
+	ws   []triWorker
+	segs []triSeg // merge staging, reused across launches
+}
+
+// AcquireTriCollector leases a collector (with warm scratch buffers, after
+// the first launch) from the pool's scratch store.
+func AcquireTriCollector(pool *par.Pool) *TriCollector {
+	c, _ := pool.GetScratch(triCollectorKey{}).(*TriCollector)
+	if c == nil {
+		c = &TriCollector{}
+	}
+	c.pool = pool
+	for len(c.ws) < pool.Workers() {
+		c.ws = append(c.ws, triWorker{})
+	}
+	return c
+}
+
+// Seg opens a segment for the chunk starting at loop index lo and returns
+// the scratch mesh the chunk must append to. Triangles appended during the
+// segment must reference only points appended during the segment (indices
+// are scratch-absolute; Release renumbers them).
+func (c *TriCollector) Seg(lo, worker int) *TriMesh {
+	w := &c.ws[worker]
+	if w.m == nil {
+		w.m = &TriMesh{}
+	}
+	w.segs = append(w.segs, triSeg{lo: lo, w: worker, p0: len(w.m.Points), t0: len(w.m.Tris)})
+	return w.m
+}
+
+// Release merges all segments into out in ascending loop order, resets the
+// scratch meshes for reuse, and returns the collector to the pool (the
+// caller must not use it afterwards). It reports how many points and
+// triangles were appended to out.
+func (c *TriCollector) Release(out *TriMesh) (points, tris int) {
+	segs := c.segs[:0]
+	for wi := range c.ws {
+		w := &c.ws[wi]
+		// Segments were appended in execution order, so each one ends where
+		// the next began.
+		for si := range w.segs {
+			s := &w.segs[si]
+			if si+1 < len(w.segs) {
+				s.p1, s.t1 = w.segs[si+1].p0, w.segs[si+1].t0
+			} else {
+				s.p1, s.t1 = len(w.m.Points), len(w.m.Tris)
+			}
+		}
+		segs = append(segs, w.segs...)
+	}
+	slices.SortFunc(segs, func(a, b triSeg) int { return a.lo - b.lo })
+	pBase, tBase := len(out.Points), len(out.Tris)
+	totP, totT := 0, 0
+	for i := range segs {
+		s := &segs[i]
+		s.dstP, s.dstT = pBase+totP, tBase+totT
+		totP += s.p1 - s.p0
+		totT += s.t1 - s.t0
+	}
+	out.Points = slices.Grow(out.Points, totP)[:pBase+totP]
+	out.Scalars = slices.Grow(out.Scalars, totP)[:pBase+totP]
+	out.Tris = slices.Grow(out.Tris, totT)[:tBase+totT]
+	c.segs = segs
+	c.pool.ForEach(len(segs), func(i, _ int) {
+		s := &c.segs[i]
+		src := c.ws[s.w].m
+		copy(out.Points[s.dstP:], src.Points[s.p0:s.p1])
+		copy(out.Scalars[s.dstP:], src.Scalars[s.p0:s.p1])
+		d := int32(s.dstP - s.p0)
+		dst := out.Tris[s.dstT : s.dstT+(s.t1-s.t0)]
+		for j, tr := range src.Tris[s.t0:s.t1] {
+			dst[j] = [3]int32{tr[0] + d, tr[1] + d, tr[2] + d}
+		}
+	})
+	for wi := range c.ws {
+		w := &c.ws[wi]
+		if w.m != nil {
+			w.m.Points = w.m.Points[:0]
+			w.m.Scalars = w.m.Scalars[:0]
+			w.m.Tris = w.m.Tris[:0]
+		}
+		w.segs = w.segs[:0]
+	}
+	c.segs = c.segs[:0]
+	c.pool.PutScratch(triCollectorKey{}, c)
+	return totP, totT
+}
+
+// cellSeg records one chunk's slice of a worker scratch UnstructuredMesh.
+type cellSeg struct {
+	lo, w            int
+	p0, c0, n0       int // start offsets: points, cells, connectivity
+	p1, c1, n1       int
+	dstP, dstC, dstN int
+}
+
+type cellWorker struct {
+	m     *UnstructuredMesh
+	local map[int]int32
+	segs  []cellSeg
+	_     [16]byte
+}
+
+// CellCollector is the UnstructuredMesh counterpart of TriCollector, used
+// by the clip, isovolume, and threshold filters.
+type CellCollector struct {
+	pool *par.Pool
+	ws   []cellWorker
+	segs []cellSeg
+}
+
+// AcquireCellCollector leases a collector from the pool's scratch store.
+func AcquireCellCollector(pool *par.Pool) *CellCollector {
+	c, _ := pool.GetScratch(cellCollectorKey{}).(*CellCollector)
+	if c == nil {
+		c = &CellCollector{}
+	}
+	c.pool = pool
+	for len(c.ws) < pool.Workers() {
+		c.ws = append(c.ws, cellWorker{})
+	}
+	return c
+}
+
+// Seg opens a segment for the chunk starting at loop index lo and returns
+// the scratch mesh. Cells added during the segment must reference only
+// points added during the segment. The worker's Local map is cleared as a
+// side effect, so point dedup via Local never crosses a segment boundary.
+func (c *CellCollector) Seg(lo, worker int) *UnstructuredMesh {
+	w := &c.ws[worker]
+	if w.m == nil {
+		w.m = NewUnstructuredMesh()
+	}
+	if len(w.local) > 0 {
+		clear(w.local)
+	}
+	w.segs = append(w.segs, cellSeg{
+		lo: lo, w: worker,
+		p0: len(w.m.Points), c0: len(w.m.Types), n0: len(w.m.Conn),
+	})
+	return w.m
+}
+
+// Local returns the worker's segment-scoped dedup map (grid point index →
+// scratch point index), cleared at each Seg call. Filters that pass whole
+// cells through (threshold, clip's fully-inside hexes) use it to share
+// vertices between the cells of one chunk without allocating a map per
+// chunk.
+func (c *CellCollector) Local(worker int) map[int]int32 {
+	w := &c.ws[worker]
+	if w.local == nil {
+		w.local = make(map[int]int32, 64)
+	}
+	return w.local
+}
+
+// Release merges all segments into out in ascending loop order, resets the
+// scratch for reuse, and returns the collector to the pool. It reports how
+// many points and cells were appended to out.
+func (c *CellCollector) Release(out *UnstructuredMesh) (points, cells int) {
+	segs := c.segs[:0]
+	for wi := range c.ws {
+		w := &c.ws[wi]
+		for si := range w.segs {
+			s := &w.segs[si]
+			if si+1 < len(w.segs) {
+				nx := &w.segs[si+1]
+				s.p1, s.c1, s.n1 = nx.p0, nx.c0, nx.n0
+			} else {
+				s.p1, s.c1, s.n1 = len(w.m.Points), len(w.m.Types), len(w.m.Conn)
+			}
+		}
+		segs = append(segs, w.segs...)
+	}
+	slices.SortFunc(segs, func(a, b cellSeg) int { return a.lo - b.lo })
+	if len(out.Offsets) == 0 {
+		out.Offsets = append(out.Offsets, 0)
+	}
+	pBase, cBase, nBase := len(out.Points), len(out.Types), len(out.Conn)
+	totP, totC, totN := 0, 0, 0
+	for i := range segs {
+		s := &segs[i]
+		s.dstP, s.dstC, s.dstN = pBase+totP, cBase+totC, nBase+totN
+		totP += s.p1 - s.p0
+		totC += s.c1 - s.c0
+		totN += s.n1 - s.n0
+	}
+	out.Points = slices.Grow(out.Points, totP)[:pBase+totP]
+	out.Scalars = slices.Grow(out.Scalars, totP)[:pBase+totP]
+	out.Types = slices.Grow(out.Types, totC)[:cBase+totC]
+	out.Conn = slices.Grow(out.Conn, totN)[:nBase+totN]
+	out.Offsets = slices.Grow(out.Offsets, totC)[:cBase+1+totC]
+	c.segs = segs
+	c.pool.ForEach(len(segs), func(i, _ int) {
+		s := &c.segs[i]
+		src := c.ws[s.w].m
+		copy(out.Points[s.dstP:], src.Points[s.p0:s.p1])
+		copy(out.Scalars[s.dstP:], src.Scalars[s.p0:s.p1])
+		copy(out.Types[s.dstC:], src.Types[s.c0:s.c1])
+		d := int32(s.dstP - s.p0)
+		dstConn := out.Conn[s.dstN : s.dstN+(s.n1-s.n0)]
+		for j, v := range src.Conn[s.n0:s.n1] {
+			dstConn[j] = v + d
+		}
+		conn0 := src.Offsets[s.c0]
+		for j := 0; j < s.c1-s.c0; j++ {
+			out.Offsets[s.dstC+1+j] = int32(s.dstN) + (src.Offsets[s.c0+1+j] - conn0)
+		}
+	})
+	for wi := range c.ws {
+		w := &c.ws[wi]
+		if w.m != nil {
+			w.m.Points = w.m.Points[:0]
+			w.m.Scalars = w.m.Scalars[:0]
+			w.m.Types = w.m.Types[:0]
+			w.m.Conn = w.m.Conn[:0]
+			w.m.Offsets = w.m.Offsets[:1]
+		}
+		w.segs = w.segs[:0]
+	}
+	c.segs = c.segs[:0]
+	c.pool.PutScratch(cellCollectorKey{}, c)
+	return totP, totC
+}
+
+// AcquireUnstructured leases a reusable empty UnstructuredMesh from the
+// pool's scratch store, for transient intermediates (e.g. the pre-weld
+// merged mesh of clip and isovolume).
+func AcquireUnstructured(pool *par.Pool) *UnstructuredMesh {
+	m, _ := pool.GetScratch(unstructuredScratchKey{}).(*UnstructuredMesh)
+	if m == nil {
+		return NewUnstructuredMesh()
+	}
+	m.Points = m.Points[:0]
+	m.Scalars = m.Scalars[:0]
+	m.Types = m.Types[:0]
+	m.Conn = m.Conn[:0]
+	m.Offsets = m.Offsets[:1]
+	return m
+}
+
+// ReleaseUnstructured returns a mesh leased with AcquireUnstructured to
+// the pool. The caller must not retain it.
+func ReleaseUnstructured(pool *par.Pool, m *UnstructuredMesh) {
+	pool.PutScratch(unstructuredScratchKey{}, m)
+}
+
+type unstructuredScratchKey struct{}

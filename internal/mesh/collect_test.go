@@ -1,0 +1,254 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// buildTriReference produces the output the old serial pipeline would
+// have: per-chunk partial meshes appended in chunk order.
+func buildTriReference(n, grain int, emit func(i int, part *TriMesh)) *TriMesh {
+	out := &TriMesh{}
+	for lo := 0; lo < n; lo += grain {
+		hi := min(lo+grain, n)
+		part := &TriMesh{}
+		for i := lo; i < hi; i++ {
+			emit(i, part)
+		}
+		out.Append(part)
+	}
+	return out
+}
+
+// emitTri appends a deterministic triangle for every third index (to
+// exercise irregular output).
+func emitTri(i int, part *TriMesh) {
+	if i%3 != 0 {
+		return
+	}
+	base := int32(len(part.Points))
+	f := float64(i)
+	part.Points = append(part.Points, Vec3{f, 0, 0}, Vec3{f, 1, 0}, Vec3{f, 0, 1})
+	part.Scalars = append(part.Scalars, f, f+1, f+2)
+	part.Tris = append(part.Tris, [3]int32{base, base + 1, base + 2})
+}
+
+func TestTriCollectorMatchesSerialAppend(t *testing.T) {
+	const n, grain = 10000, 256
+	want := buildTriReference(n, grain, emitTri)
+	for _, nw := range []int{1, 2, 4} {
+		p := par.NewPool(nw)
+		for round := 0; round < 3; round++ { // reuse the leased scratch across rounds
+			col := AcquireTriCollector(p)
+			got := &TriMesh{}
+			p.For(n, grain, func(lo, hi, worker int) {
+				part := col.Seg(lo, worker)
+				for i := lo; i < hi; i++ {
+					emitTri(i, part)
+				}
+			})
+			pts, tris := col.Release(got)
+			if pts != len(want.Points) || tris != len(want.Tris) {
+				t.Fatalf("nw=%d round=%d: Release reported (%d,%d), want (%d,%d)",
+					nw, round, pts, tris, len(want.Points), len(want.Tris))
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("nw=%d round=%d: %v", nw, round, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("nw=%d round=%d: collector output differs from serial append reference", nw, round)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestTriCollectorAppendsToNonEmpty(t *testing.T) {
+	p := par.NewPool(2)
+	defer p.Close()
+	out := &TriMesh{}
+	emitTri(0, out) // pre-existing geometry: merge must renumber past it
+	col := AcquireTriCollector(p)
+	p.For(600, 64, func(lo, hi, worker int) {
+		part := col.Seg(lo, worker)
+		for i := lo; i < hi; i++ {
+			emitTri(i, part)
+		}
+	})
+	col.Release(out)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := buildTriReference(600, 64, emitTri)
+	if out.NumTris() != want.NumTris()+1 {
+		t.Fatalf("got %d tris, want %d", out.NumTris(), want.NumTris()+1)
+	}
+}
+
+// emitCells adds a tet for every even index and, every 10th index, a hex
+// whose vertices are deduplicated through the segment-local map.
+func emitCells(i int, part *UnstructuredMesh, local map[int]int32) {
+	f := float64(i)
+	if i%2 == 0 {
+		a := part.AddPoint(Vec3{f, 0, 0}, f)
+		b := part.AddPoint(Vec3{f, 1, 0}, f)
+		c := part.AddPoint(Vec3{f, 0, 1}, f)
+		d := part.AddPoint(Vec3{f, 1, 1}, f)
+		part.AddCell(Tet, a, b, c, d)
+	}
+	if i%10 == 0 {
+		var conn [8]int32
+		for v := 0; v < 8; v++ {
+			gid := i*8 + v
+			id, ok := local[gid]
+			if !ok {
+				id = part.AddPoint(Vec3{f, float64(v), 2}, f+float64(v))
+				local[gid] = id
+			}
+			conn[v] = id
+		}
+		part.AddCell(Hex, conn[:]...)
+	}
+}
+
+func buildCellReference(n, grain int) *UnstructuredMesh {
+	out := NewUnstructuredMesh()
+	for lo := 0; lo < n; lo += grain {
+		hi := min(lo+grain, n)
+		part := NewUnstructuredMesh()
+		local := make(map[int]int32)
+		for i := lo; i < hi; i++ {
+			emitCells(i, part, local)
+		}
+		out.Append(part)
+	}
+	return out
+}
+
+func TestCellCollectorMatchesSerialAppend(t *testing.T) {
+	const n, grain = 4000, 128
+	want := buildCellReference(n, grain)
+	for _, nw := range []int{1, 2, 4} {
+		p := par.NewPool(nw)
+		for round := 0; round < 3; round++ {
+			col := AcquireCellCollector(p)
+			got := NewUnstructuredMesh()
+			p.For(n, grain, func(lo, hi, worker int) {
+				part := col.Seg(lo, worker)
+				local := col.Local(worker)
+				for i := lo; i < hi; i++ {
+					emitCells(i, part, local)
+				}
+			})
+			pts, cells := col.Release(got)
+			if pts != len(want.Points) || cells != want.NumCells() {
+				t.Fatalf("nw=%d round=%d: Release reported (%d,%d), want (%d,%d)",
+					nw, round, pts, cells, len(want.Points), want.NumCells())
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("nw=%d round=%d: %v", nw, round, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("nw=%d round=%d: collector output differs from serial append reference", nw, round)
+			}
+		}
+		p.Close()
+	}
+}
+
+// A warm collector on a one-worker pool must run a full collect cycle
+// without heap allocation beyond the loop closure itself.
+func TestTriCollectorSteadyStateAllocs(t *testing.T) {
+	p := par.NewPool(1)
+	defer p.Close()
+	out := &TriMesh{}
+	cycle := func() {
+		col := AcquireTriCollector(p)
+		p.For(3000, 256, func(lo, hi, worker int) {
+			part := col.Seg(lo, worker)
+			for i := lo; i < hi; i++ {
+				emitTri(i, part)
+			}
+		})
+		out.Points = out.Points[:0]
+		out.Scalars = out.Scalars[:0]
+		out.Tris = out.Tris[:0]
+		col.Release(out)
+	}
+	cycle() // warm the scratch buffers and the output
+	allocs := testing.AllocsPerRun(20, cycle)
+	if allocs > 8 {
+		t.Errorf("steady-state collect cycle allocates %.0f objects/op, want <= 8", allocs)
+	}
+}
+
+func TestWeldPointsPoolMatchesSerial(t *testing.T) {
+	// A grid of duplicated tets: every vertex appears in several cells.
+	m := NewUnstructuredMesh()
+	for c := 0; c < 500; c++ {
+		f := float64(c % 37)
+		g := float64(c % 11)
+		a := m.AddPoint(Vec3{f, g, 0}, f)
+		b := m.AddPoint(Vec3{f + 1, g, 0}, f+1)
+		d := m.AddPoint(Vec3{f, g + 1, 0}, g)
+		e := m.AddPoint(Vec3{f, g, 1}, g+1)
+		m.AddCell(Tet, a, b, d, e)
+	}
+	want := weldReference(m, 1e-9)
+	for _, nw := range []int{1, 2, 4} {
+		p := par.NewPool(nw)
+		for round := 0; round < 3; round++ { // exercise scratch reuse
+			got := WeldPointsPool(m, 1e-9, p)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("nw=%d: %v", nw, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("nw=%d round=%d: parallel weld differs from serial reference (%d pts vs %d)",
+					nw, round, len(got.Points), len(want.Points))
+			}
+		}
+		p.Close()
+	}
+}
+
+// weldReference is the seed's serial weld, kept as the behavioral oracle.
+func weldReference(m *UnstructuredMesh, tol float64) *UnstructuredMesh {
+	inv := 1 / tol
+	type key [3]int64
+	out := NewUnstructuredMesh()
+	remap := make([]int32, len(m.Points))
+	seen := make(map[key]int32, len(m.Points))
+	for i, p := range m.Points {
+		k := key{int64(p[0]*inv + 0.5), int64(p[1]*inv + 0.5), int64(p[2]*inv + 0.5)}
+		if id, ok := seen[k]; ok {
+			remap[i] = id
+			continue
+		}
+		id := out.AddPoint(p, m.Scalars[i])
+		seen[k] = id
+		remap[i] = id
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		ct, conn := m.Cell(c)
+		newConn := make([]int32, len(conn))
+		for j, v := range conn {
+			newConn[j] = remap[v]
+		}
+		out.AddCell(ct, newConn...)
+	}
+	return out
+}
+
+func TestWeldPointsPoolEmpty(t *testing.T) {
+	p := par.NewPool(2)
+	defer p.Close()
+	got := WeldPointsPool(NewUnstructuredMesh(), 1e-9, p)
+	if len(got.Points) != 0 || got.NumCells() != 0 {
+		t.Fatalf("weld of empty mesh = %d points, %d cells", len(got.Points), got.NumCells())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkParForDispatch measures the fixed cost of launching one
+// parallel loop on a warm pool: an empty body over a handful of chunks,
+// so the measurement is dominated by dispatch (wake/claim/complete)
+// rather than by the body or by per-chunk claiming.
+func BenchmarkParForDispatch(b *testing.B) {
+	p := NewPool(4)
+	defer benchClosePool(p)
+	const n = 4 * 1024
+	// Warm the pool so worker startup is outside the measurement.
+	p.For(n, 1024, func(lo, hi, worker int) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(n, 1024, func(lo, hi, worker int) {})
+	}
+}
+
+// BenchmarkParForDispatchSpawn is the seed runtime's dispatch, kept as a
+// permanent reference point: a fresh goroutine per worker per call with a
+// single shared claim counter. BenchmarkParForDispatch must stay well
+// under this.
+func BenchmarkParForDispatchSpawn(b *testing.B) {
+	const n = 4 * 1024
+	const grain = 1024
+	const nw = 4
+	body := func(lo, hi, worker int) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks := (n + grain - 1) / grain
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					c := next.Add(1) - 1
+					if c >= int64(chunks) {
+						return
+					}
+					lo := int(c) * grain
+					hi := lo + grain
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi, worker)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkParForChunks measures a loop with enough chunks that per-chunk
+// claiming, not dispatch, dominates — the steady-state cost model for the
+// cell-centered kernels.
+func BenchmarkParForChunks(b *testing.B) {
+	p := NewPool(4)
+	defer benchClosePool(p)
+	const n = 1 << 20
+	p.For(n, 1024, func(lo, hi, worker int) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(n, 1024, func(lo, hi, worker int) {})
+	}
+}
+
+// BenchmarkReduceSum measures the reduction path used by the histogram
+// and CFL kernels.
+func BenchmarkReduceSum(b *testing.B) {
+	p := NewPool(4)
+	defer benchClosePool(p)
+	const n = 1 << 18
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(p, n, 0,
+			func() int64 { return 0 },
+			func(lo, hi int, acc int64) int64 {
+				for j := lo; j < hi; j++ {
+					acc += int64(j)
+				}
+				return acc
+			},
+			func(a, c int64) int64 { return a + c },
+		)
+	}
+}
+
+// benchClosePool releases the pool's workers after a benchmark.
+func benchClosePool(p *Pool) { p.Close() }

@@ -1,7 +1,11 @@
 package par
 
 import (
+	"errors"
+	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -84,13 +88,24 @@ func TestForSerialFastPath(t *testing.T) {
 
 func TestForPanicPropagates(t *testing.T) {
 	p := NewPool(4)
+	defer p.Close()
 	defer func() {
 		r := recover()
 		if r == nil {
 			t.Fatal("panic did not propagate out of For")
 		}
-		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
-			t.Errorf("unexpected panic payload: %v", r)
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("panic payload is %T, want *WorkerPanic", r)
+		}
+		if wp.Value != "boom" {
+			t.Errorf("WorkerPanic.Value = %v, want \"boom\"", wp.Value)
+		}
+		if wp.Worker < 0 || wp.Worker >= 4 {
+			t.Errorf("WorkerPanic.Worker = %d out of range", wp.Worker)
+		}
+		if !strings.Contains(wp.Error(), "boom") {
+			t.Errorf("WorkerPanic.Error() = %q, want it to mention the cause", wp.Error())
 		}
 	}()
 	p.For(10000, 16, func(lo, hi, worker int) {
@@ -98,6 +113,224 @@ func TestForPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// The original panic value — not a formatted copy — must survive the trip
+// through the pool, so callers can recover and inspect structured errors.
+func TestForPanicValueSurvives(t *testing.T) {
+	type cause struct{ Code int }
+	original := &cause{Code: 42}
+	p := NewPool(3)
+	defer p.Close()
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok {
+			t.Fatal("expected a *WorkerPanic")
+		}
+		if got, ok := wp.Value.(*cause); !ok || got != original {
+			t.Errorf("WorkerPanic.Value = %#v, want the original %#v", wp.Value, original)
+		}
+	}()
+	p.For(5000, 8, func(lo, hi, worker int) {
+		if lo == 2048 {
+			panic(original)
+		}
+	})
+}
+
+// A panic carrying an error must be reachable through errors.Is/As on the
+// wrapper.
+func TestWorkerPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("bad cell")
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok {
+			t.Fatal("expected a *WorkerPanic")
+		}
+		if !errors.Is(wp, sentinel) {
+			t.Errorf("errors.Is(wp, sentinel) = false, want true")
+		}
+	}()
+	p.For(100, 1, func(lo, hi, worker int) {
+		if lo == 50 {
+			panic(sentinel)
+		}
+	})
+}
+
+// A For issued from inside a worker body must complete without deadlock:
+// the dispatching goroutine participates in its own loop, so the nested
+// loop degrades to serial execution when no workers are free.
+func TestForNestedNoDeadlock(t *testing.T) {
+	for _, nw := range []int{1, 2, 4} {
+		p := NewPool(nw)
+		const outer, inner = 64, 128
+		counts := make([]int32, outer*inner)
+		p.For(outer, 4, func(lo, hi, worker int) {
+			for o := lo; o < hi; o++ {
+				base := o * inner
+				p.For(inner, 16, func(ilo, ihi, w int) {
+					for i := ilo; i < ihi; i++ {
+						atomic.AddInt32(&counts[base+i], 1)
+					}
+				})
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("nw=%d: nested index %d visited %d times", nw, i, c)
+			}
+		}
+		p.Close()
+	}
+}
+
+// Concurrent For calls from independent goroutines share one pool's
+// workers; each loop must see full coverage and in-range worker ids.
+func TestForConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const callers = 8
+	const n = 20000
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := make([]int32, n)
+			p.For(n, 64, func(lo, hi, worker int) {
+				if worker < 0 || worker >= p.Workers() {
+					errs <- "worker id out of range"
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i := range seen {
+				if seen[i] != 1 {
+					errs <- "index visited wrong number of times"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// Floating-point Reduce must be bitwise deterministic across runs for a
+// fixed pool size: spans are folded in index order and merged in span
+// order regardless of scheduling.
+func TestReduceDeterministic(t *testing.T) {
+	const n = 100000
+	vals := make([]float64, n)
+	rng := uint64(1)
+	for i := range vals {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		vals[i] = math.Ldexp(float64(rng>>11), int(rng%64)-32)
+	}
+	sum := func(p *Pool) float64 {
+		return Reduce(p, n, 0,
+			func() float64 { return 0 },
+			func(lo, hi int, acc float64) float64 {
+				for i := lo; i < hi; i++ {
+					acc += vals[i]
+				}
+				return acc
+			},
+			func(a, b float64) float64 { return a + b },
+		)
+	}
+	p := NewPool(4)
+	defer p.Close()
+	first := sum(p)
+	for run := 0; run < 20; run++ {
+		if got := sum(p); got != first {
+			t.Fatalf("run %d: Reduce = %x, want %x (nondeterministic merge order)", run, got, first)
+		}
+	}
+	// A second pool of the same size must agree too.
+	q := NewPool(4)
+	defer q.Close()
+	if got := sum(q); got != first {
+		t.Fatalf("fresh pool of same size: Reduce = %x, want %x", got, first)
+	}
+}
+
+func TestGrainFor(t *testing.T) {
+	if g := GrainFor(0, 4); g != 1 {
+		t.Errorf("GrainFor(0,4) = %d, want 1", g)
+	}
+	if g := GrainFor(10, 4); g < 1 {
+		t.Errorf("GrainFor(10,4) = %d, want >= 1", g)
+	}
+	if g := GrainFor(1<<30, 2); g != MaxGrain {
+		t.Errorf("GrainFor(1<<30,2) = %d, want MaxGrain=%d", g, MaxGrain)
+	}
+	if g := GrainFor(1024, 0); g < 1 {
+		t.Errorf("GrainFor with zero workers = %d, want >= 1", g)
+	}
+	// Roughly eight chunks per worker in the unclamped regime.
+	n, w := 64000, 4
+	g := GrainFor(n, w)
+	chunks := (n + g - 1) / g
+	if chunks < w || chunks > 16*w {
+		t.Errorf("GrainFor(%d,%d) = %d gives %d chunks, want a small multiple of workers", n, w, g, chunks)
+	}
+}
+
+// The dispatch path on a warm pool must not spawn goroutines per call.
+func TestForNoPerCallGoroutines(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Warm: start the workers outside the measurement.
+	p.For(4096, 64, func(lo, hi, worker int) {})
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		p.For(4096, 64, func(lo, hi, worker int) {})
+	}
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across 200 warm For calls", before, after)
+	}
+}
+
+// Loops dispatched after Close still complete (on the caller, serially).
+func TestForAfterClose(t *testing.T) {
+	p := NewPool(4)
+	p.For(1000, 16, func(lo, hi, worker int) {})
+	p.Close()
+	var total atomic.Int64
+	p.For(1000, 16, func(lo, hi, worker int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 1000 {
+		t.Errorf("post-Close For covered %d iterations, want 1000", total.Load())
+	}
+}
+
+func TestScratchStore(t *testing.T) {
+	type key struct{}
+	p := NewPool(2)
+	defer p.Close()
+	if v := p.GetScratch(key{}); v != nil {
+		t.Fatalf("GetScratch on empty store = %v, want nil", v)
+	}
+	buf := make([]float64, 8)
+	p.PutScratch(key{}, buf)
+	got, ok := p.GetScratch(key{}).([]float64)
+	if !ok || len(got) != 8 {
+		t.Fatalf("GetScratch returned %v, want the leased []float64", got)
+	}
+	if v := p.GetScratch(key{}); v != nil {
+		t.Fatalf("second GetScratch = %v, want nil (value was leased out)", v)
+	}
 }
 
 func TestForEach(t *testing.T) {

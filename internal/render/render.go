@@ -47,6 +47,16 @@ func NewImage(w, h int) *Image {
 	return im
 }
 
+// Reset restores the image to its freshly-allocated state — transparent
+// black with an infinite depth buffer — so render loops can reuse one
+// framebuffer across the 50-image orbit instead of allocating per frame.
+func (im *Image) Reset() {
+	clear(im.Pix)
+	for i := range im.Depth {
+		im.Depth[i] = math.Inf(1)
+	}
+}
+
 // Fill sets every pixel to c (depth untouched).
 func (im *Image) Fill(c Color) {
 	for i := range im.Pix {

@@ -178,7 +178,7 @@ func (s *Sim) StepCount() int { return s.step }
 func (s *Sim) eosAndSpeeds(pool *par.Pool, recs []ops.Recorder) float64 {
 	g1 := s.opts.Gamma - 1
 	nc := s.NumCells()
-	maxSpeed := par.Reduce(pool, nc, 4096,
+	maxSpeed := par.Reduce(pool, nc, 0,
 		func() float64 { return 0 },
 		func(lo, hi int, acc float64) float64 {
 			for c := lo; c < hi; c++ {
@@ -288,7 +288,7 @@ func (s *Sim) sweep(dir int, dt float64, pool *par.Pool, recs []ops.Recorder, gh
 		pattern = ops.Strided
 	}
 
-	pool.For(nPencils, 8, func(lo, hi, worker int) {
+	pool.For(nPencils, 0, func(lo, hi, worker int) {
 		// Per-worker face-flux buffer for one pencil (n+1 faces).
 		fluxes := make([]state5, n+1)
 		var slopes []state5
@@ -425,7 +425,7 @@ func (s *Sim) pencilSlopes(pencil, n int, cellAt func(int, int) int, mn, mt1, mt
 func (s *Sim) refreshEOS(pool *par.Pool, recs []ops.Recorder) {
 	g1 := s.opts.Gamma - 1
 	nc := s.NumCells()
-	pool.For(nc, 8192, func(lo, hi, worker int) {
+	pool.For(nc, 0, func(lo, hi, worker int) {
 		for c := lo; c < hi; c++ {
 			r := s.rho[c]
 			inv := 1 / r

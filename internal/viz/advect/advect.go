@@ -113,7 +113,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	crossingsByWorker := make([]uint64, ex.Pool.Workers())
 
 	ex.Rec(0).Launch()
-	ex.Pool.For(len(starts), 8, func(lo, hi, worker int) {
+	ex.Pool.For(len(starts), 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		var samples, crossings, stepsTaken uint64
 		for pi := lo; pi < hi; pi++ {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/ops"
+	"repro/internal/par"
 	"repro/internal/viz"
 )
 
@@ -65,7 +66,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	nPts := g.NumPoints()
 	dist := make([]float64, nPts)
 	ex.Rec(0).Launch()
-	ex.Pool.For(nPts, 8192, func(lo, hi, worker int) {
+	ex.Pool.For(nPts, 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		for id := lo; id < hi; id++ {
 			dist[id] = g.PointPosition(id).Sub(center).Norm() - radius
@@ -80,15 +81,14 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 
 	// Pass 2: classify and clip cells.
 	nCells := g.NumCells()
-	const grain = 2048
-	nChunks := (nCells + grain - 1) / grain
-	partials := make([]*mesh.UnstructuredMesh, nChunks)
+	grain := par.GrainFixed(nCells)
+	col := mesh.AcquireCellCollector(ex.Pool)
 
 	ex.Rec(0).Launch()
 	ex.Pool.For(nCells, grain, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
-		part := mesh.NewUnstructuredMesh()
-		local := make(map[int]int32)
+		part := col.Seg(lo, worker)
+		local := col.Local(worker)
 		var ts [6]viz.Tet
 		scratch := make([]viz.Tet, 0, 16)
 		var whole, straddle, pieces uint64
@@ -137,7 +137,6 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 				}
 			}
 		}
-		partials[lo/grain] = part
 
 		n := uint64(hi - lo)
 		rec.Loads(n*8*8, ops.Strided) // 8 corner distances per cell
@@ -152,17 +151,14 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		rec.Stores(pieces*4*36, ops.Stream)
 	})
 
-	merged := mesh.NewUnstructuredMesh()
-	for _, part := range partials {
-		if part != nil && part.NumCells() > 0 {
-			merged.Append(part)
-		}
-	}
-	out := mesh.WeldPoints(merged, 1e-9)
+	merged := mesh.AcquireUnstructured(ex.Pool)
+	col.Release(merged)
+	out := mesh.WeldPointsPool(merged, 1e-9, ex.Pool)
 	rec := ex.Rec(0)
 	rec.IntOps(uint64(len(merged.Points)) * 8) // weld hashing
 	rec.LoadsN(uint64(len(merged.Points)), 32, ops.Random)
 	rec.WorkingSet(uint64(nPts)*16 + uint64(len(out.Points))*40)
+	mesh.ReleaseUnstructured(ex.Pool, merged)
 
 	return &viz.Result{
 		Profile:  ex.Drain(),

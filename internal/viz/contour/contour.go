@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/ops"
+	"repro/internal/par"
 	"repro/internal/viz"
 )
 
@@ -99,14 +100,13 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 // distance field while carrying the data field.
 func ContourField(g *mesh.UniformGrid, field, carry []float64, iso float64, ex *viz.Exec, out *mesh.TriMesh) {
 	nCells := g.NumCells()
-	const grain = 2048
-	nChunks := (nCells + grain - 1) / grain
-	partials := make([]*mesh.TriMesh, nChunks)
+	grain := par.GrainFor(nCells, ex.Pool.Workers())
+	col := mesh.AcquireTriCollector(ex.Pool)
 
 	ex.Rec(0).Launch()
 	ex.Pool.For(nCells, grain, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
-		part := &mesh.TriMesh{}
+		part := col.Seg(lo, worker)
 		var ts [6]viz.Tet
 		var crossed, tris uint64
 		for cell := lo; cell < hi; cell++ {
@@ -137,7 +137,6 @@ func ContourField(g *mesh.UniformGrid, field, carry []float64, iso float64, ex *
 				})
 			}
 		}
-		partials[lo/grain] = part
 
 		// Operation accounting for this chunk: every cell gathers its 8
 		// corner scalars (strided through the point array) and runs the
@@ -157,11 +156,10 @@ func ContourField(g *mesh.UniformGrid, field, carry []float64, iso float64, ex *
 		rec.Stores(tris*3*32, ops.Stream)
 	})
 
-	for _, part := range partials {
-		if part != nil && len(part.Tris) > 0 {
-			out.Append(part)
-		}
-	}
+	pts, _ := col.Release(out)
 	rec := ex.Rec(0)
-	rec.WorkingSet(uint64(len(field))*8 + uint64(len(out.Points))*32)
+	// The launch working set is the field plus the surface emitted by this
+	// call — not the whole of out, which accumulates across the 10
+	// isovalues of a cycle.
+	rec.WorkingSet(uint64(len(field))*8 + uint64(pts)*32)
 }

@@ -190,3 +190,29 @@ func TestContourEmptyIsosurface(t *testing.T) {
 		t.Errorf("out-of-range isovalue produced %d triangles", res.Tris.NumTris())
 	}
 }
+
+// A steady-state contour cycle (10 isovalues on a warm pool with warm
+// scratch buffers, as in the paper's 288-configuration sweep) must not
+// allocate per chunk: the collector's scratch meshes are leased from the
+// pool and reset, not reallocated. The seed pipeline allocated a partial
+// mesh per chunk — hundreds of objects per cycle on this grid.
+func TestContourSteadyStateAllocs(t *testing.T) {
+	g := sphereGrid(t, 24)
+	pool := par.NewPool(1)
+	defer pool.Close()
+	f := New(Options{Field: "r"})
+	cycle := func() {
+		ex := viz.NewExec(pool)
+		if _, err := f.Run(g, ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the pool's scratch store
+	allocs := testing.AllocsPerRun(10, cycle)
+	// The remaining allocations are the per-cycle result (output mesh
+	// growth, Exec, profile) — not per-chunk partials, which would be
+	// hundreds on a 24^3 grid with 10 isovalues.
+	if allocs > 120 {
+		t.Errorf("steady-state contour cycle allocates %.0f objects/op, want <= 120", allocs)
+	}
+}

@@ -58,7 +58,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	inv2 := mesh.Vec3{0.5 / g.Spacing[0], 0.5 / g.Spacing[1], 0.5 / g.Spacing[2]}
 
 	ex.Rec(0).Launch()
-	ex.Pool.For(g.NumPoints(), 8192, func(lo, hi, worker int) {
+	ex.Pool.For(g.NumPoints(), 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		for id := lo; id < hi; id++ {
 			i, j, k := g.PointIJK(id)

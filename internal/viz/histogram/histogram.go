@@ -55,7 +55,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	bins := f.opts.Bins
 
 	ex.Rec(0).Launch()
-	counts := par.Reduce(ex.Pool, len(cf), 8192,
+	counts := par.Reduce(ex.Pool, len(cf), 0,
 		func() []int64 { return make([]int64, bins) },
 		func(lo2, hi2 int, acc []int64) []int64 {
 			for c := lo2; c < hi2; c++ {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/ops"
+	"repro/internal/par"
 	"repro/internal/viz"
 )
 
@@ -60,15 +61,14 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	}
 
 	nCells := g.NumCells()
-	const grain = 2048
-	nChunks := (nCells + grain - 1) / grain
-	partials := make([]*mesh.UnstructuredMesh, nChunks)
+	grain := par.GrainFixed(nCells)
+	col := mesh.AcquireCellCollector(ex.Pool)
 
 	ex.Rec(0).Launch()
 	ex.Pool.For(nCells, grain, func(lo2, hi2, worker int) {
 		rec := ex.Rec(worker)
-		part := mesh.NewUnstructuredMesh()
-		local := make(map[int]int32)
+		part := col.Seg(lo2, worker)
+		local := col.Local(worker)
 		var ts [6]viz.Tet
 		above := make([]viz.Tet, 0, 16)
 		kept := make([]viz.Tet, 0, 16)
@@ -122,7 +122,6 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 				}
 			}
 		}
-		partials[lo2/grain] = part
 
 		n := uint64(hi2 - lo2)
 		rec.Loads(n*8*8, ops.Strided)
@@ -139,17 +138,14 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		rec.Stores(pieces*4*36, ops.Stream)
 	})
 
-	merged := mesh.NewUnstructuredMesh()
-	for _, part := range partials {
-		if part != nil && part.NumCells() > 0 {
-			merged.Append(part)
-		}
-	}
-	out := mesh.WeldPoints(merged, 1e-9)
+	merged := mesh.AcquireUnstructured(ex.Pool)
+	col.Release(merged)
+	out := mesh.WeldPointsPool(merged, 1e-9, ex.Pool)
 	rec := ex.Rec(0)
 	rec.IntOps(uint64(len(merged.Points)) * 8)
 	rec.LoadsN(uint64(len(merged.Points)), 32, ops.Random)
 	rec.WorkingSet(uint64(len(field))*8 + uint64(len(out.Points))*40)
+	mesh.ReleaseUnstructured(ex.Pool, merged)
 
 	return &viz.Result{
 		Profile:  ex.Drain(),

@@ -86,7 +86,7 @@ func GatherScene(g *mesh.UniformGrid, field string, ex *viz.Exec) (*Scene, error
 	cd := g.CellDims()
 	ex.Rec(0).Launch()
 	boundary := make([]int64, ex.Pool.Workers())
-	ex.Pool.For(nCells, 8192, func(lo, hi, worker int) {
+	ex.Pool.For(nCells, 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		cnt := int64(0)
 		for cell := lo; cell < hi; cell++ {
@@ -137,12 +137,23 @@ func GatherScene(g *mesh.UniformGrid, field string, ex *viz.Exec) (*Scene, error
 
 // Render traces one image from cam, recording the traversal work into ex.
 func (s *Scene) Render(cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
-	im := render.NewImage(w, h)
+	return s.RenderInto(nil, cam, w, h, ex)
+}
+
+// RenderInto is Render into a caller-provided framebuffer (reset here),
+// allocating one only when im is nil. The orbit loop reuses one image
+// across all 50 frames when no sink retains them.
+func (s *Scene) RenderInto(im *render.Image, cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
+	if im == nil || im.W != w || im.H != h {
+		im = render.NewImage(w, h)
+	} else {
+		im.Reset()
+	}
 	background := render.Color{0.08, 0.08, 0.10, 1}
 	light := cam.Eye.Sub(cam.Look).Normalize()
 
 	ex.Rec(0).Launch()
-	ex.Pool.For(w*h, 1024, func(lo, hi, worker int) {
+	ex.Pool.For(w*h, 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		var stats TraverseStats
 		var hits uint64
@@ -187,12 +198,16 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		return nil, err
 	}
 	b := g.Bounds()
+	// One reusable framebuffer for the whole orbit unless a sink may
+	// retain frames.
+	var reuse *render.Image
 	for i := 0; i < f.opts.Images; i++ {
 		az := 2 * math.Pi * float64(i) / float64(f.opts.Images)
 		cam := render.OrbitCamera(b, az, 0.35, 2.0)
-		im := scene.Render(cam, f.opts.Width, f.opts.Height, ex)
 		if f.opts.Sink != nil {
-			f.opts.Sink(i, az, im)
+			f.opts.Sink(i, az, scene.Render(cam, f.opts.Width, f.opts.Height, ex))
+		} else {
+			reuse = scene.RenderInto(reuse, cam, f.opts.Width, f.opts.Height, ex)
 		}
 	}
 	return &viz.Result{

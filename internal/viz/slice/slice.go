@@ -82,7 +82,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		}
 		// Signed-distance field for this plane on every mesh point.
 		ex.Rec(0).Launch()
-		ex.Pool.For(nPts, 8192, func(lo, hi, worker int) {
+		ex.Pool.For(nPts, 0, func(lo, hi, worker int) {
 			rec := ex.Rec(worker)
 			for id := lo; id < hi; id++ {
 				dist[id] = g.PointPosition(id).Sub(pl.Point).Dot(n)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/ops"
+	"repro/internal/par"
 	"repro/internal/viz"
 )
 
@@ -60,15 +61,14 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	}
 
 	nCells := g.NumCells()
-	const grain = 4096
-	nChunks := (nCells + grain - 1) / grain
-	partials := make([]*mesh.UnstructuredMesh, nChunks)
+	grain := par.GrainFixed(nCells)
+	col := mesh.AcquireCellCollector(ex.Pool)
 
 	ex.Rec(0).Launch()
 	ex.Pool.For(nCells, grain, func(lo2, hi2, worker int) {
 		rec := ex.Rec(worker)
-		part := mesh.NewUnstructuredMesh()
-		local := make(map[int]int32)
+		part := col.Seg(lo2, worker)
+		local := col.Local(worker)
 		var kept uint64
 		for cell := lo2; cell < hi2; cell++ {
 			v := cf[cell]
@@ -88,7 +88,6 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 			}
 			part.AddCell(mesh.Hex, conn[0], conn[1], conn[2], conn[3], conn[4], conn[5], conn[6], conn[7])
 		}
-		partials[lo2/grain] = part
 
 		// Threshold compacts with the classify → scan → scatter pattern
 		// (as VTK-m does): the cell field is streamed twice (classify
@@ -108,11 +107,7 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	})
 
 	out := mesh.NewUnstructuredMesh()
-	for _, part := range partials {
-		if part != nil && part.NumCells() > 0 {
-			out.Append(part)
-		}
-	}
+	col.Release(out)
 	rec := ex.Rec(0)
 	rec.WorkingSet(uint64(nCells)*8 + uint64(len(pf))*8 + uint64(len(out.Points))*40)
 

@@ -98,12 +98,24 @@ var Background = render.Color{0.06, 0.06, 0.08, 1}
 // segment over the background (RenderImage).
 func RenderSegments(g *mesh.UniformGrid, field []float64, tf render.TransferFunction,
 	cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
-	im := render.NewImage(w, h)
+	return RenderSegmentsInto(nil, g, field, tf, cam, w, h, ex)
+}
+
+// RenderSegmentsInto is RenderSegments rendering into a caller-provided
+// framebuffer (reset here), allocating one only when im is nil. Orbit
+// loops that do not retain images pass the same image every frame.
+func RenderSegmentsInto(im *render.Image, g *mesh.UniformGrid, field []float64, tf render.TransferFunction,
+	cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
+	if im == nil || im.W != w || im.H != h {
+		im = render.NewImage(w, h)
+	} else {
+		im.Reset()
+	}
 	b := g.Bounds()
 	step := math.Min(g.Spacing[0], math.Min(g.Spacing[1], g.Spacing[2])) * 0.75
 
 	ex.Rec(0).Launch()
-	ex.Pool.For(w*h, 512, func(lo, hi, worker int) {
+	ex.Pool.For(w*h, 0, func(lo, hi, worker int) {
 		rec := ex.Rec(worker)
 		var samples uint64
 		for pix := lo; pix < hi; pix++ {
@@ -168,6 +180,15 @@ func RenderImage(g *mesh.UniformGrid, field []float64, tf render.TransferFunctio
 	return im
 }
 
+// RenderImageInto is RenderImage with a reusable framebuffer (see
+// RenderSegmentsInto).
+func RenderImageInto(im *render.Image, g *mesh.UniformGrid, field []float64, tf render.TransferFunction,
+	cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
+	im = RenderSegmentsInto(im, g, field, tf, cam, w, h, ex)
+	BlendBackground(im)
+	return im
+}
+
 // Run implements viz.Filter.
 func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	field := g.PointField(f.opts.Field)
@@ -184,12 +205,18 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		OpacityScale: f.opts.OpacityScale,
 	}
 	b := g.Bounds()
+	// With no sink retaining frames, the whole orbit reuses one
+	// framebuffer; a sink may hold the image past the frame, so it gets a
+	// fresh one each time.
+	var reuse *render.Image
 	for i := 0; i < f.opts.Images; i++ {
 		az := 2 * math.Pi * float64(i) / float64(f.opts.Images)
 		cam := render.OrbitCamera(b, az, 0.35, 2.0)
-		im := RenderImage(g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
 		if f.opts.Sink != nil {
+			im := RenderImage(g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
 			f.opts.Sink(i, az, im)
+		} else {
+			reuse = RenderImageInto(reuse, g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
 		}
 	}
 	// Rays resample the whole volume every image: the working set is the
