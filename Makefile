@@ -1,14 +1,20 @@
 # Build/test/benchmark wiring for the vizpower reproduction.
 #
 #   make check   - vet + build + full test suite + short race pass
-#   make race    - the short -race run on the runtime, mesh layer, and two
-#                  kernels (the packages with real cross-goroutine traffic)
+#   make race    - the short -race run on the runtime, mesh layer, rank
+#                  fabric, and two kernels (the packages with real
+#                  cross-goroutine traffic), plus the harness
+#                  failure-injection paths
 #   make bench   - the dispatch + kernel benchmarks recorded in BENCH_PR1.json
+#
+# Every test target carries -timeout 120s: the fabric tests deliberately
+# create would-be deadlocks and rely on cancellation to unblock, so a
+# hang must fail fast instead of stalling CI.
 
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/clip ./internal/viz/threshold
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/clip ./internal/viz/threshold ./internal/dist
 
 .PHONY: check vet build test race bench
 
@@ -21,12 +27,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 race:
-	$(GO) test -race -count=1 $(RACE_PKGS)
+	$(GO) test -race -count=1 -timeout 120s $(RACE_PKGS)
+	$(GO) test -race -count=1 -timeout 120s ./internal/harness -run 'Failure|Retry|Partial'
 
 bench:
-	$(GO) test ./internal/par -run xxx -bench 'ParFor|ReduceSum' -benchtime=2s
-	$(GO) test . -run xxx -bench 'BenchmarkKernel(Contour|SphericalClip|Isovolume|Threshold|Slice)' -benchtime 5x
-	$(GO) test . -run xxx -bench BenchmarkAblationWeld -benchtime 10x
+	$(GO) test -timeout 120s ./internal/par -run xxx -bench 'ParFor|ReduceSum' -benchtime=2s
+	$(GO) test -timeout 120s . -run xxx -bench 'BenchmarkKernel(Contour|SphericalClip|Isovolume|Threshold|Slice)' -benchtime 5x
+	$(GO) test -timeout 120s . -run xxx -bench BenchmarkAblationWeld -benchtime 10x

@@ -264,12 +264,23 @@ func run(args []string) error {
 	case "allocate":
 		return allocateCmd(c, opt)
 	case "all":
-		return allCmd(c, opt)
+		if err := allCmd(c, opt); err != nil {
+			return err
+		}
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	reportFailures(c)
 	return nil
+}
+
+// reportFailures prints the partial-sweep error report to stderr: failed
+// cells are skipped, every other configuration's results still stand.
+func reportFailures(c *harness.Config) {
+	if fs := c.Failures(); len(fs) > 0 {
+		fmt.Fprint(os.Stderr, "vizpower: sweep degraded — ", harness.FailureReport(fs))
+	}
 }
 
 // cinemaCmd renders an orbit image database (the paper's 50-image-per-
@@ -482,11 +493,16 @@ func allCmd(c *harness.Config, opt *options) error {
 		fmt.Println("wrote", path)
 		return nil
 	}
+	// One bad cell must cost its own artifacts, not the whole campaign:
+	// each phase degrades independently and the failures land in the
+	// report (and failures.txt) instead of aborting the sweep.
+	skip := func(artifact string, err error) {
+		fmt.Fprintf(os.Stderr, "vizpower: %s skipped: %v\n", artifact, err)
+	}
 	run1, err := c.Phase1()
 	if err != nil {
-		return err
-	}
-	if err := write("table1.txt", harness.Table1(run1, c.Caps)); err != nil {
+		skip("table1", err)
+	} else if err := write("table1.txt", harness.Table1(run1, c.Caps)); err != nil {
 		return err
 	}
 	runs2, err := c.Phase2()
@@ -502,9 +518,8 @@ func allCmd(c *harness.Config, opt *options) error {
 	sizes := c.SortedSizes()
 	runs3, err := c.RunAll(sizes[len(sizes)-1])
 	if err != nil {
-		return err
-	}
-	if err := write("table3.txt", harness.Table3(runs3, c.Caps)); err != nil {
+		skip("table3", err)
+	} else if err := write("table3.txt", harness.Table3(runs3, c.Caps)); err != nil {
 		return err
 	}
 	type figure struct {
@@ -522,7 +537,8 @@ func allCmd(c *harness.Config, opt *options) error {
 	} {
 		bySize, err := c.RunsBySize(fig.alg)
 		if err != nil {
-			return err
+			skip(fig.name, err)
+			continue
 		}
 		figs = append(figs, figure{
 			fig.name,
@@ -551,10 +567,15 @@ func allCmd(c *harness.Config, opt *options) error {
 		fmt.Println("wrote", p)
 	}
 	// The self-contained campaign report: tables, classification, and
-	// executable claim checks in one document.
+	// executable claim checks in one document. The claims need the full
+	// Phase 2 set, so a degraded sweep skips them rather than aborting.
 	claims, err := c.CheckClaims()
 	if err != nil {
-		return err
+		if len(c.Failures()) == 0 {
+			return err
+		}
+		skip("claim checks", err)
+		claims = nil
 	}
 	var report strings.Builder
 	if err := c.WriteReport(&report, runs2, runs3, claims); err != nil {
@@ -565,6 +586,11 @@ func allCmd(c *harness.Config, opt *options) error {
 	}
 	if err := write("energy.txt", harness.EnergyTable(runs2, c.Caps)); err != nil {
 		return err
+	}
+	if fs := c.Failures(); len(fs) > 0 {
+		if err := write("failures.txt", harness.FailureReport(fs)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

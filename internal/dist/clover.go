@@ -34,13 +34,19 @@ const (
 
 // NewDistSim builds an n-cell global cube split across nRanks z-slabs.
 func NewDistSim(n, nRanks int, opts clover.Options) (*DistSim, error) {
+	return NewDistSimWith(n, nRanks, opts, Options{})
+}
+
+// NewDistSimWith is NewDistSim on a fabric with explicit Options, so the
+// halo exchange can run under fault injection or send deadlines.
+func NewDistSimWith(n, nRanks int, opts clover.Options, comms Options) (*DistSim, error) {
 	if opts.SecondOrder {
 		return nil, fmt.Errorf("dist: the halo is one layer; second-order sweeps are not supported")
 	}
 	if nRanks < 1 || nRanks > n {
 		return nil, fmt.Errorf("dist: cannot cut %d slabs from %d layers", nRanks, n)
 	}
-	comm, err := NewComm(nRanks)
+	comm, err := NewCommWith(nRanks, comms)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +124,9 @@ func (d *DistSim) Step(pool *par.Pool, recsByRank [][]ops.Recorder) (float64, er
 			}
 			dt = sim.DT(global)
 			for dst := 1; dst < nRanks; dst++ {
-				ep.Send(dst, tagDT, []float64{dt})
+				if err := ep.Send(dst, tagDT, []float64{dt}); err != nil {
+					return err
+				}
 			}
 		} else {
 			v, err := ep.Recv(0, tagDT)
@@ -137,10 +145,14 @@ func (d *DistSim) Step(pool *par.Pool, recsByRank [][]ops.Recorder) (float64, er
 		loLayer, hiLayer := sim.ZBoundary()
 		var ghostLo, ghostHi []clover.GhostCell
 		if r > 0 {
-			ep.Send(r-1, tagHalo, encodeGhost(loLayer))
+			if err := ep.Send(r-1, tagHalo, encodeGhost(loLayer)); err != nil {
+				return err
+			}
 		}
 		if r < nRanks-1 {
-			ep.Send(r+1, tagHalo, encodeGhost(hiLayer))
+			if err := ep.Send(r+1, tagHalo, encodeGhost(hiLayer)); err != nil {
+				return err
+			}
 			data, err := ep.Recv(r+1, tagHalo)
 			if err != nil {
 				return err

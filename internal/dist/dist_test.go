@@ -21,7 +21,9 @@ func TestCommPointToPoint(t *testing.T) {
 	err = comm.Run(func(ep *Endpoint) error {
 		next := (ep.Rank() + 1) % ep.Size()
 		prev := (ep.Rank() + ep.Size() - 1) % ep.Size()
-		ep.Send(next, 7, []float64{float64(ep.Rank())})
+		if err := ep.Send(next, 7, []float64{float64(ep.Rank())}); err != nil {
+			return err
+		}
 		got, err := ep.Recv(prev, 7)
 		if err != nil {
 			return err
@@ -44,7 +46,9 @@ func TestCommSendCopies(t *testing.T) {
 	err := comm.Run(func(ep *Endpoint) error {
 		if ep.Rank() == 0 {
 			data := []float64{1, 2, 3}
-			ep.Send(1, 0, data)
+			if err := ep.Send(1, 0, data); err != nil {
+				return err
+			}
 			data[0] = 99 // mutation after send must not leak
 			return nil
 		}
@@ -97,8 +101,7 @@ func TestCommTagMismatch(t *testing.T) {
 	comm, _ := NewComm(2)
 	err := comm.Run(func(ep *Endpoint) error {
 		if ep.Rank() == 0 {
-			ep.Send(1, 5, nil)
-			return nil
+			return ep.Send(1, 5, nil)
 		}
 		_, err := ep.Recv(0, 6)
 		if err == nil {

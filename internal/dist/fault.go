@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInjected is the root cause of every FaultPlan-injected failure.
+var ErrInjected = errors.New("dist: injected fault")
+
+// FaultPlan describes deterministic fault injection for tests. The hook
+// functions are called concurrently from every rank goroutine, so they
+// must be pure functions of their arguments (or otherwise thread-safe);
+// deterministic hooks keep failure scenarios reproducible run to run.
+type FaultPlan struct {
+	// Fail, when non-nil, makes one specific send fail: the Op-th fabric
+	// send issued by Rank returns an error wrapping ErrInjected (and
+	// marked *TransientError when Transient is set) instead of delivering.
+	Fail *FailSpec
+	// Delay returns a pause inserted before the seq-th message from src
+	// to dst is handed to the pair buffer — a deterministic stand-in for
+	// network jitter and stragglers. The pause itself is abort-aware.
+	Delay func(src, dst, tag, seq int) time.Duration
+	// Drop returns true to silently discard the message: the send
+	// succeeds, the receiver never sees it. Because the fabric is
+	// non-overtaking, the receiver observes later traffic (or the abort
+	// signal) instead of the lost message; pair Drop with SendTimeout or
+	// Cancel in scenarios where no later traffic would unblock it.
+	Drop func(src, dst, tag, seq int) bool
+}
+
+// FailSpec selects the exact send that fails: the Op-th send (0-based,
+// counted across all destinations) issued by Rank.
+type FailSpec struct {
+	Rank      int
+	Op        int
+	Transient bool
+}
+
+// sendFault applies the pre-delivery faults for one send. It returns
+// drop=true when the message must be silently discarded, or a non-nil
+// error when the send fails outright.
+func (f *FaultPlan) sendFault(src, dst, tag, op, seq int, c *Comm) (drop bool, err error) {
+	if f.Fail != nil && f.Fail.Rank == src && f.Fail.Op == op {
+		err := fmt.Errorf("rank %d send %d (to %d, tag %d): %w", src, op, dst, tag, ErrInjected)
+		if f.Fail.Transient {
+			return false, &TransientError{Err: err}
+		}
+		return false, err
+	}
+	if f.Delay != nil {
+		if d := f.Delay(src, dst, tag, seq); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-c.done:
+				t.Stop()
+				return false, c.abortErr
+			}
+		}
+	}
+	if f.Drop != nil && f.Drop(src, dst, tag, seq) {
+		return true, nil
+	}
+	return false, nil
+}

@@ -37,6 +37,13 @@ func encodeSurface(im *render.Image) []float64 {
 // triangle belongs to exactly one rank, and the interior partition walls
 // each rank's slab adds are always occluded by the true surface.
 func RayTrace(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool) (*render.Image, []RankResult, error) {
+	return RayTraceWith(g, field, nRanks, cam, w, h, pool, Options{})
+}
+
+// RayTraceWith is RayTrace on a fabric with explicit Options (buffer
+// capacity, send deadlines, fault injection). A rank failure cancels the
+// whole composite and surfaces as an *AbortError naming the rank.
+func RayTraceWith(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool, opts Options) (*render.Image, []RankResult, error) {
 	// Global color normalization: every rank must map scalars to colors
 	// identically, so the range comes from the whole field, not a slab.
 	pf := g.PointField(field)
@@ -54,7 +61,7 @@ func RayTrace(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, 
 	if err != nil {
 		return nil, nil, err
 	}
-	comm, err := NewComm(nRanks)
+	comm, err := NewCommWith(nRanks, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,6 +125,13 @@ func encodeSegments(im *render.Image) []float64 {
 // function is built from the global field range so every rank colors
 // identically.
 func VolumeRender(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool) (*render.Image, []RankResult, error) {
+	return VolumeRenderWith(g, field, nRanks, cam, w, h, pool, Options{})
+}
+
+// VolumeRenderWith is VolumeRender on a fabric with explicit Options. A
+// rank failure cancels the whole composite and surfaces as an
+// *AbortError naming the rank.
+func VolumeRenderWith(g *mesh.UniformGrid, field string, nRanks int, cam render.Camera, w, h int, pool *par.Pool, opts Options) (*render.Image, []RankResult, error) {
 	pf := g.PointField(field)
 	if pf == nil {
 		var err error
@@ -133,7 +147,7 @@ func VolumeRender(g *mesh.UniformGrid, field string, nRanks int, cam render.Came
 	if err != nil {
 		return nil, nil, err
 	}
-	comm, err := NewComm(nRanks)
+	comm, err := NewCommWith(nRanks, opts)
 	if err != nil {
 		return nil, nil, err
 	}

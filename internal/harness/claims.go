@@ -28,6 +28,12 @@ func (c *Config) CheckClaims() ([]Claim, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The claims compare algorithms against each other, so a partial
+	// Phase 2 (some cells failed and were skipped) cannot be judged.
+	if len(runs) != len(c.Filters()) {
+		return nil, fmt.Errorf("harness: claims need the full Phase 2 set, only %d of %d algorithms ran\n%s",
+			len(runs), len(c.Filters()), FailureReport(c.Failures()))
+	}
 	byName := make(map[string]*AlgoRun, len(runs))
 	for _, r := range runs {
 		byName[r.Name] = r

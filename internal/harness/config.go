@@ -14,8 +14,10 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/mesh"
 	"repro/internal/ops"
 	"repro/internal/par"
@@ -67,8 +69,22 @@ type Config struct {
 	// Progress, if non-nil, receives one line per completed run.
 	Progress func(string)
 
+	// MaxRetries bounds re-executions of a failed (algorithm, size) cell
+	// when the error is transient (dist.IsTransient). Default 2; set -1
+	// to disable retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling on each
+	// further attempt. Default 10 ms.
+	RetryBackoff time.Duration
+	// Inject, when non-nil, is consulted before every execution attempt
+	// of an (algorithm, size) cell; a non-nil return fails that attempt.
+	// It is the deterministic failure-injection hook the resilience
+	// tests use.
+	Inject func(name string, size int, attempt int) error
+
 	datasets map[int]*mesh.UniformGrid
 	runs     map[string]*AlgoRun
+	failures []CellError
 }
 
 // Defaults fills unset fields with the paper's configuration and returns
@@ -114,6 +130,12 @@ func (c *Config) Defaults() *Config {
 	}
 	if c.MaxSimSteps == 0 {
 		c.MaxSimSteps = 400
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
 	}
 	if c.datasets == nil {
 		c.datasets = make(map[int]*mesh.UniformGrid)
@@ -222,17 +244,10 @@ func (c *Config) FilterByName(name string) (viz.Filter, error) {
 	return nil, fmt.Errorf("harness: unknown algorithm %q", name)
 }
 
-// RunAllExtended executes the extended filter set at one size.
+// RunAllExtended executes the extended filter set at one size with the
+// same partial-on-failure semantics as RunAll.
 func (c *Config) RunAllExtended(size int) ([]*AlgoRun, error) {
-	var out []*AlgoRun
-	for _, f := range c.ExtendedFilters() {
-		r, err := c.Run(f, size)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return c.runSet(c.ExtendedFilters(), size)
 }
 
 // AlgoRun is the outcome of one (algorithm, size) execution: the
@@ -250,12 +265,46 @@ type AlgoRun struct {
 }
 
 // Run executes one algorithm at one size (cached) and models it under
-// every cap.
+// every cap. Attempts that fail with a transient error (dist.IsTransient)
+// are retried up to MaxRetries times with doubling backoff; a cell that
+// still fails is recorded in Failures and the error returned.
 func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 	c.Defaults()
 	key := fmt.Sprintf("%s/%d", f.Name(), size)
 	if r, ok := c.runs[key]; ok {
 		return r, nil
+	}
+	var run *AlgoRun
+	var err error
+	attempts := 0
+	for {
+		run, err = c.runAttempt(f, size, attempts)
+		attempts++
+		if err == nil {
+			break
+		}
+		if attempts > c.MaxRetries || !dist.IsTransient(err) {
+			break
+		}
+		c.log("retry %s at %d^3 after transient failure (attempt %d): %v", f.Name(), size, attempts, err)
+		time.Sleep(c.RetryBackoff << (attempts - 1))
+	}
+	if err != nil {
+		c.failures = append(c.failures, CellError{Name: f.Name(), Size: size, Attempts: attempts, Err: err})
+		return nil, err
+	}
+	c.runs[key] = run
+	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
+		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)
+	return run, nil
+}
+
+// runAttempt is one uncached execution of an (algorithm, size) cell.
+func (c *Config) runAttempt(f viz.Filter, size, attempt int) (*AlgoRun, error) {
+	if c.Inject != nil {
+		if err := c.Inject(f.Name(), size, attempt); err != nil {
+			return nil, fmt.Errorf("harness: %s at %d^3: %w", f.Name(), size, err)
+		}
 	}
 	g, err := c.Dataset(size)
 	if err != nil {
@@ -278,21 +327,36 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 		run.ByCap[i] = run.Exec.UnderCap(capW)
 	}
 	run.Base = run.ByCap[0]
-	c.runs[key] = run
-	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
-		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)
 	return run, nil
 }
 
-// RunAll executes all eight algorithms at one size.
+// RunAll executes all eight algorithms at one size. A cell that still
+// fails after its transient retries is recorded (see Failures) and
+// skipped, so the sweep degrades to a partial result set instead of
+// aborting; the error return is non-nil only when every cell failed.
 func (c *Config) RunAll(size int) ([]*AlgoRun, error) {
+	return c.runSet(c.Filters(), size)
+}
+
+// runSet sweeps one filter list at one size with per-cell failure
+// recording.
+func (c *Config) runSet(filters []viz.Filter, size int) ([]*AlgoRun, error) {
+	c.Defaults()
 	var out []*AlgoRun
-	for _, f := range c.Filters() {
+	var firstErr error
+	for _, f := range filters {
 		r, err := c.Run(f, size)
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.log("skip %s at %d^3: %v", f.Name(), size, err)
+			continue
 		}
 		out = append(out, r)
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

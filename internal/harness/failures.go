@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellError records one (algorithm, size) configuration that failed
+// after its transient retries were exhausted. The sweep keeps going past
+// such cells, so a campaign ends with a partial result set plus this
+// per-cell error report instead of losing the whole matrix.
+type CellError struct {
+	Name     string
+	Size     int
+	Attempts int
+	Err      error
+}
+
+func (e CellError) String() string {
+	return fmt.Sprintf("%s at %d^3 (%d attempt(s)): %v", e.Name, e.Size, e.Attempts, e.Err)
+}
+
+// Failures returns the per-configuration failures recorded so far, in
+// the order they occurred.
+func (c *Config) Failures() []CellError {
+	return append([]CellError(nil), c.failures...)
+}
+
+// ClearFailures resets the failure record, e.g. between campaigns on a
+// reused Config.
+func (c *Config) ClearFailures() { c.failures = nil }
+
+// FailureReport renders the failures as the campaign error report; it is
+// empty when nothing failed.
+func FailureReport(failures []CellError) string {
+	if len(failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d configuration(s) failed; results are partial\n", len(failures))
+	fmt.Fprintf(&b, "%-22s %-7s %-9s %s\n", "Algorithm", "Size", "Attempts", "Error")
+	for _, f := range failures {
+		fmt.Fprintf(&b, "%-22s %-7s %-9d %v\n",
+			f.Name, fmt.Sprintf("%d^3", f.Size), f.Attempts, f.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// TestPhase3PartialOnInjectedFailure is the resilient-sweep acceptance
+// check: one injected permanently-failing cell yields results for every
+// other cell of the matrix plus a per-cell error report, instead of
+// losing the whole 288-configuration study.
+func TestPhase3PartialOnInjectedFailure(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	boom := errors.New("node OOM")
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Slice" && size == 16 {
+			return boom
+		}
+		return nil
+	}
+	all, err := c.Phase3()
+	if err != nil {
+		t.Fatalf("Phase3 aborted instead of degrading: %v", err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("Phase3 sizes = %d, want 2", len(all))
+	}
+	if got := len(all[8]); got != 8 {
+		t.Errorf("unaffected size 8 ran %d of 8 algorithms", got)
+	}
+	if got := len(all[16]); got != 7 {
+		t.Errorf("size 16 ran %d algorithms, want 7 (Slice skipped)", got)
+	}
+	for _, r := range all[16] {
+		if r.Name == "Slice" {
+			t.Error("failed cell still present in the result set")
+		}
+	}
+	fs := c.Failures()
+	if len(fs) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Name != "Slice" || f.Size != 16 || f.Attempts != 1 || !errors.Is(f.Err, boom) {
+		t.Errorf("failure record wrong: %+v", f)
+	}
+	rep := FailureReport(fs)
+	for _, want := range []string{"Slice", "16^3", "node OOM", "partial"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("failure report missing %q:\n%s", want, rep)
+		}
+	}
+	if FailureReport(nil) != "" {
+		t.Error("empty failure set should render an empty report")
+	}
+}
+
+// TestRunRetriesTransientFailures: a cell failing with a transient error
+// (dist.IsTransient) is retried with backoff and succeeds without being
+// recorded as a failure.
+func TestRunRetriesTransientFailures(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	attempts := 0
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Threshold" && size == 8 && attempt < 2 {
+			attempts++
+			return &dist.TransientError{Err: errors.New("flaky interconnect")}
+		}
+		return nil
+	}
+	f, err := c.FilterByName("Threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(f, 8)
+	if err != nil {
+		t.Fatalf("transient failure not retried to success: %v", err)
+	}
+	if r == nil || r.Name != "Threshold" {
+		t.Fatalf("bad run: %+v", r)
+	}
+	if attempts != 2 {
+		t.Errorf("injected %d transient failures, want 2", attempts)
+	}
+	if fs := c.Failures(); len(fs) != 0 {
+		t.Errorf("recovered cell still recorded as failed: %v", fs)
+	}
+}
+
+// TestRunDoesNotRetryPermanentFailures: non-transient errors fail the
+// cell on the first attempt.
+func TestRunDoesNotRetryPermanentFailures(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	calls := 0
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Contour" && size == 8 {
+			calls++
+			return errors.New("bad dataset")
+		}
+		return nil
+	}
+	f, err := c.FilterByName("Contour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(f, 8); err == nil {
+		t.Fatal("permanent failure reported success")
+	}
+	if calls != 1 {
+		t.Errorf("permanent failure attempted %d times, want 1", calls)
+	}
+	fs := c.Failures()
+	if len(fs) != 1 || fs[0].Attempts != 1 {
+		t.Errorf("failure record wrong: %v", fs)
+	}
+	c.ClearFailures()
+	if len(c.Failures()) != 0 {
+		t.Error("ClearFailures left records behind")
+	}
+}
+
+// TestExhaustedTransientRetriesRecorded: a cell that stays transiently
+// broken is retried MaxRetries times, then recorded with its attempt
+// count.
+func TestExhaustedTransientRetriesRecorded(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Threshold" && size == 8 {
+			return &dist.TransientError{Err: errors.New("always flaky")}
+		}
+		return nil
+	}
+	f, err := c.FilterByName("Threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(f, 8)
+	if !dist.IsTransient(err) {
+		t.Fatalf("final error lost its transient marking: %v", err)
+	}
+	fs := c.Failures()
+	if len(fs) != 1 || fs[0].Attempts != 3 {
+		t.Errorf("want 1 failure after 3 attempts (1 + MaxRetries), got %v", fs)
+	}
+}
+
+// TestClaimsRefusePartialPhase2: the cross-algorithm claims cannot be
+// judged from a partial set, so they error out with the failure report
+// rather than nil-dereferencing a missing algorithm.
+func TestClaimsRefusePartialPhase2(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Contour" && size == c.PhaseSize {
+			return errors.New("injected")
+		}
+		return nil
+	}
+	if _, err := c.CheckClaims(); err == nil {
+		t.Fatal("claims accepted a partial Phase 2")
+	} else if !strings.Contains(err.Error(), "7 of 8") {
+		t.Errorf("claims error should count the partial set: %v", err)
+	}
+}
+
+// TestWriteReportIncludesFailures: the campaign report carries the
+// partial-on-failure error section.
+func TestWriteReportIncludesFailures(t *testing.T) {
+	c := tinyConfig()
+	c.RetryBackoff = time.Millisecond
+	c.Inject = func(name string, size, attempt int) error {
+		if name == "Ray Tracing" && size == c.PhaseSize {
+			return errors.New("injected raytrace loss")
+		}
+		return nil
+	}
+	runs, err := c.Phase2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 7 {
+		t.Fatalf("Phase2 ran %d algorithms, want 7", len(runs))
+	}
+	var buf strings.Builder
+	if err := c.WriteReport(&buf, runs, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## Failed configurations", "Ray Tracing", "injected raytrace loss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

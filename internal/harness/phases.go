@@ -21,16 +21,26 @@ func (c *Config) Phase2() ([]*AlgoRun, error) {
 
 // Phase3 runs Phase 3 (Section IV-D3): the full matrix over every
 // configured size — the content of Table III and Figures 4–6. The result
-// maps size → runs in filter order.
+// maps size → runs in filter order. Failed cells are recorded (see
+// Failures) and skipped, so one bad algorithm/cap/size cell yields a
+// partial matrix plus an error report; the error return is non-nil only
+// when nothing at all ran.
 func (c *Config) Phase3() (map[int][]*AlgoRun, error) {
 	c.Defaults()
 	out := make(map[int][]*AlgoRun, len(c.Sizes))
+	var firstErr error
 	for _, size := range c.SortedSizes() {
 		runs, err := c.RunAll(size)
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		out[size] = runs
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

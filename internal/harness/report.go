@@ -28,6 +28,14 @@ func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Clai
 		c.Isovalues, c.Images, c.ImageSize, c.ImageSize, c.Particles, c.ParticleSteps)
 	fmt.Fprintf(&b, "- study matrix: %d configurations\n\n", c.TotalConfigurations())
 
+	if fs := c.Failures(); len(fs) > 0 {
+		b.WriteString("## Failed configurations\n\n")
+		b.WriteString("The sweep is partial-on-failure: the cells below errored out (after\n")
+		b.WriteString("transient retries) and every other cell still ran.\n\n```\n")
+		b.WriteString(FailureReport(fs))
+		b.WriteString("```\n\n")
+	}
+
 	b.WriteString("## Classification (Section VI-B)\n\n```\n")
 	b.WriteString(DemandTable(runs2))
 	b.WriteString("```\n\n")

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/metrics"
@@ -41,10 +42,20 @@ func Table1(run *AlgoRun, caps []float64) string {
 	return b.String()
 }
 
-// firstFreqSlowdownCap mirrors FirstSlowdownCap for the frequency ratio.
+// firstFreqSlowdownCap mirrors FirstSlowdownCap for the frequency ratio:
+// caps (parallel to run.ByCap) are scanned highest-first regardless of
+// the order the caller configured, and the base cap itself never matches.
 func firstFreqSlowdownCap(run *AlgoRun, caps []float64) float64 {
 	base := run.Base
-	for i := range caps {
+	order := make([]int, len(caps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return caps[order[a]] > caps[order[b]] })
+	for _, i := range order {
+		if i >= len(run.ByCap) || caps[i] == base.CapWatts {
+			continue
+		}
 		r := run.ByCap[i]
 		if r.FreqGHz > 0 && base.FreqGHz/r.FreqGHz >= metrics.SlowdownThreshold {
 			return caps[i]

@@ -77,6 +77,29 @@ func TestSlowdownTableNoMarkerWhenFlat(t *testing.T) {
 	}
 }
 
+func TestFreqSlowdownCapShuffledInput(t *testing.T) {
+	// Caps out of the tables' high->low order: the highlight rule must
+	// sort internally rather than trust caller ordering.
+	caps := []float64{80, 120, 40, 100, 60}
+	run := syntheticRun("Volume Rendering", caps,
+		[]float64{11.2, 10, 18, 10, 12.5},
+		[]float64{2.3, 2.6, 1.4, 2.6, 2.0},
+	)
+	run.Base = run.ByCap[1] // the 120 W default
+	if got := firstFreqSlowdownCap(run, caps); got != 80 {
+		t.Errorf("firstFreqSlowdownCap = %v, want 80 (highest cap with Fratio >= 1.10)", got)
+	}
+	// A duplicate entry at the base cap never matches, whatever its freq.
+	caps = []float64{120, 120, 100}
+	run = syntheticRun("Contour", caps,
+		[]float64{10, 10, 10},
+		[]float64{2.6, 1.0, 2.5},
+	)
+	if got := firstFreqSlowdownCap(run, caps); got != 0 {
+		t.Errorf("base cap matched the frequency slowdown rule: got %v, want 0", got)
+	}
+}
+
 func TestDemandTableClassBoundary(t *testing.T) {
 	caps := []float64{120, 100, 80, 70, 60, 40}
 	sensitive := syntheticRun("Hot", caps,

@@ -5,7 +5,11 @@
 // instead of speedup to compare cell-centered algorithms (Fig. 3).
 package metrics
 
-import "repro/internal/cpu"
+import (
+	"sort"
+
+	"repro/internal/cpu"
+)
 
 // Ratios are the paper's three comparison ratios against the default-power
 // (TDP) run. Pratio and Fratio put the default value in the numerator and
@@ -39,11 +43,17 @@ func Compute(base, r cpu.CapResult) Ratios {
 // which execution time (or frequency) degrades by 10%.
 const SlowdownThreshold = 1.10
 
-// FirstSlowdownCap scans results ordered from the highest cap to the
-// lowest and returns the first (highest) cap whose Tratio meets the
-// threshold, or 0 if none does. base is the default-cap run.
+// FirstSlowdownCap returns the highest cap whose Tratio meets the
+// threshold, or 0 if none does. base is the default-cap run; it never
+// matches, even when it appears in byCap. The scan orders the results
+// highest-cap-first internally, so callers may pass them in any order.
 func FirstSlowdownCap(base cpu.CapResult, byCap []cpu.CapResult) float64 {
-	for _, r := range byCap {
+	sorted := append([]cpu.CapResult(nil), byCap...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CapWatts > sorted[j].CapWatts })
+	for _, r := range sorted {
+		if r.CapWatts == base.CapWatts {
+			continue
+		}
 		if base.TimeSec > 0 && r.TimeSec/base.TimeSec >= SlowdownThreshold {
 			return r.CapWatts
 		}

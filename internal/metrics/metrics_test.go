@@ -53,6 +53,27 @@ func TestFirstSlowdownCap(t *testing.T) {
 	}
 }
 
+func TestFirstSlowdownCapShuffledInput(t *testing.T) {
+	base := res(120, 10, 2.6)
+	// Same sweep as above, deliberately out of order: the rule must not
+	// depend on caller-supplied ordering.
+	shuffled := []cpu.CapResult{
+		res(80, 13, 2.0),
+		res(120, 10, 2.6),
+		res(90, 11.2, 2.3),
+		res(100, 10.5, 2.5),
+		res(110, 10.2, 2.6),
+	}
+	if got := FirstSlowdownCap(base, shuffled); got != 90 {
+		t.Errorf("shuffled FirstSlowdownCap = %v, want 90", got)
+	}
+	// The base cap itself never matches, even with a pathological time.
+	poisoned := []cpu.CapResult{res(120, 20, 2.6), res(70, 10.5, 2.4)}
+	if got := FirstSlowdownCap(base, poisoned); got != 0 {
+		t.Errorf("base cap matched its own slowdown rule: got %v, want 0", got)
+	}
+}
+
 func TestRate(t *testing.T) {
 	if got := Rate(2097152, 2.0); got != 1048576 {
 		t.Errorf("Rate = %v", got)
