@@ -6,6 +6,9 @@
 #                  cross-goroutine traffic), plus the harness
 #                  failure-injection paths
 #   make bench   - the dispatch + kernel benchmarks recorded in BENCH_PR1.json
+#   make bench-render - the render hot-path benchmarks recorded in
+#                  BENCH_PR3.json (volren marcher, traced frame, BVH
+#                  build, cinema encode queue), with -benchmem
 #
 # Every test target carries -timeout 120s: the fabric tests deliberately
 # create would-be deadlocks and rely on cancellation to unblock, so a
@@ -14,9 +17,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/clip ./internal/viz/threshold ./internal/dist
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-render
 
 check: vet build test race
 
@@ -37,3 +40,8 @@ bench:
 	$(GO) test -timeout 120s ./internal/par -run xxx -bench 'ParFor|ReduceSum' -benchtime=2s
 	$(GO) test -timeout 120s . -run xxx -bench 'BenchmarkKernel(Contour|SphericalClip|Isovolume|Threshold|Slice)' -benchtime 5x
 	$(GO) test -timeout 120s . -run xxx -bench BenchmarkAblationWeld -benchtime 10x
+
+bench-render:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkVolrenFrame|BenchmarkRayTraceFrame|BenchmarkBVHBuildPaths|BenchmarkCinemaOrbitSink' \
+		-benchtime 5x

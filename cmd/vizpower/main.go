@@ -294,6 +294,8 @@ func cinemaCmd(c *harness.Config, opt *options) error {
 	if err != nil {
 		return err
 	}
+	// Pipeline PNG encoding off the render loop; Finalize drains the queue.
+	db.StartAsync(0, 0)
 	var f viz.Filter
 	switch opt.alg {
 	case "Volume Rendering":

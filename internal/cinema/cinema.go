@@ -6,6 +6,13 @@
 // numbered PNG files plus a JSON index mapping each image to its camera
 // parameters, so a post hoc viewer can scrub around the object without
 // re-rendering.
+//
+// PNG encoding is far slower than the render that produced the frame, so
+// the database can pipeline it: StartAsync moves encode+write onto a
+// bounded worker queue and the render loop only pays the channel send.
+// Finalize drains the queue and sorts the manifest by (cycle, index), so
+// the persisted index.json is identical whether encoding was synchronous
+// or pipelined.
 package cinema
 
 import (
@@ -13,6 +20,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/render"
 )
@@ -37,8 +48,21 @@ type Index struct {
 // Database accumulates images into a directory.
 type Database struct {
 	dir   string
-	index Index
 	cycle int
+
+	mu    sync.Mutex // guards index while encode workers append entries
+	index Index
+
+	jobs chan encodeJob // nil until StartAsync
+	wg   sync.WaitGroup
+}
+
+type encodeJob struct {
+	name       string
+	index      int
+	azimuthRad float64
+	cycle      int
+	im         *render.Image
 }
 
 // New creates (or reuses) the database directory.
@@ -52,49 +76,126 @@ func New(dir, name, algorithm string) (*Database, error) {
 	}, nil
 }
 
+// StartAsync switches the database to pipelined encoding: Add enqueues
+// onto a bounded channel (depth frames of backpressure) and workers
+// encode and write concurrently with the render loop. Images handed to
+// Add/Sink after this call are owned by the database until written —
+// callers must not reuse them. workers <= 0 picks a small default from
+// the machine size; depth <= 0 defaults to twice the workers. A second
+// call before Finalize is a no-op.
+func (d *Database) StartAsync(workers, depth int) {
+	if d.jobs != nil {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU() / 2
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	d.jobs = make(chan encodeJob, depth)
+	for w := 0; w < workers; w++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for j := range d.jobs {
+				d.store(j)
+			}
+		}()
+	}
+}
+
 // Sink returns a function with the signature the render filters accept
-// (raytrace.Options.Sink / volren.Options.Sink); each delivered image is
-// written immediately. Write errors surface at Finalize.
+// (raytrace.Options.Sink / volren.Options.Sink). Write errors surface at
+// Finalize.
 func (d *Database) Sink() func(index int, azimuthRad float64, im *render.Image) {
 	return func(index int, azimuthRad float64, im *render.Image) {
 		_ = d.Add(index, azimuthRad, im)
 	}
 }
 
-// Add stores one image.
+// Add stores one image — immediately when synchronous, or by handing the
+// frame to the encode queue when StartAsync is active (in which case the
+// returned error is always nil and failures surface at Finalize).
 func (d *Database) Add(index int, azimuthRad float64, im *render.Image) error {
-	name := fmt.Sprintf("c%03d_i%03d.png", d.cycle, index)
-	f, err := os.Create(filepath.Join(d.dir, name))
+	j := encodeJob{
+		name:       fmt.Sprintf("c%03d_i%03d.png", d.cycle, index),
+		index:      index,
+		azimuthRad: azimuthRad,
+		cycle:      d.cycle,
+		im:         im,
+	}
+	if d.jobs != nil {
+		d.jobs <- j
+		return nil
+	}
+	return d.store(j)
+}
+
+// store encodes and writes one frame and appends its manifest entry; a
+// failure is recorded as an ERROR entry so Finalize can report it.
+func (d *Database) store(j encodeJob) error {
+	entry := Entry{File: j.name, Index: j.index, AzimuthRad: j.azimuthRad, Cycle: j.cycle}
+	err := d.writePNG(j)
 	if err != nil {
-		d.index.Entries = append(d.index.Entries, Entry{File: "ERROR:" + err.Error()})
+		entry.File = "ERROR:" + err.Error()
+	}
+	d.mu.Lock()
+	if err == nil && d.index.Width == 0 {
+		d.index.Width, d.index.Height = j.im.W, j.im.H
+	}
+	d.index.Entries = append(d.index.Entries, entry)
+	d.mu.Unlock()
+	return err
+}
+
+func (d *Database) writePNG(j encodeJob) error {
+	f, err := os.Create(filepath.Join(d.dir, j.name))
+	if err != nil {
 		return err
 	}
-	if err := im.WritePNG(f); err != nil {
+	if err := j.im.WritePNG(f); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if d.index.Width == 0 {
-		d.index.Width, d.index.Height = im.W, im.H
-	}
-	d.index.Entries = append(d.index.Entries, Entry{
-		File: name, Index: index, AzimuthRad: azimuthRad, Cycle: d.cycle,
-	})
-	return nil
+	return f.Close()
 }
 
 // NextCycle advances the visualization-cycle tag for subsequent images.
 func (d *Database) NextCycle() { d.cycle++ }
 
-// Len returns the number of stored images.
-func (d *Database) Len() int { return len(d.index.Entries) }
+// Len returns the number of images handed over so far (queued frames
+// count once stored; call after Finalize for the settled total).
+func (d *Database) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.index.Entries)
+}
 
-// Finalize writes index.json and reports any image that failed to store.
+// Finalize drains the encode queue (when async), sorts the manifest into
+// its deterministic (cycle, index) order, writes index.json, and reports
+// any image that failed to store.
 func (d *Database) Finalize() error {
+	if d.jobs != nil {
+		close(d.jobs)
+		d.wg.Wait()
+		d.jobs = nil
+	}
+	sort.SliceStable(d.index.Entries, func(i, j int) bool {
+		a, b := d.index.Entries[i], d.index.Entries[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		return a.Index < b.Index
+	})
 	for _, e := range d.index.Entries {
-		if len(e.File) > 6 && e.File[:6] == "ERROR:" {
+		if strings.HasPrefix(e.File, "ERROR:") {
 			return fmt.Errorf("cinema: image write failed: %s", e.File[6:])
 		}
 	}

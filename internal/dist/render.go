@@ -175,9 +175,10 @@ func VolumeRenderWith(g *mesh.UniformGrid, field string, nRanks int, cam render.
 			return nil
 		}
 		final := render.NewImage(w, h)
+		fr := cam.Frame(w, h) // one camera frame for the whole composite
 		for p := 0; p < w*h; p++ {
 			px, py := p%w, p/w
-			_, dir := cam.Ray(px, py, w, h)
+			_, dir := fr.Ray(px, py)
 			var cr, cg, cb, alpha float64
 			for k := 0; k < nRanks; k++ {
 				r := k

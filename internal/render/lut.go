@@ -1,0 +1,121 @@
+package render
+
+// ColorLUT is a piecewise-linear tabulation of a colormap over t ∈ [0, 1].
+// CoolWarm itself is piecewise linear with its only breakpoint at t = 0.5,
+// so a table with an even number of segments has a node exactly at the
+// breakpoint and reproduces the map to floating-point rounding — no branch
+// math per sample, just one indexed load pair and a lerp.
+type ColorLUT struct {
+	// nodes holds n+1 colors at t = i/n.
+	nodes []Color
+	n     float64
+}
+
+// NewColorLUT tabulates f at n+1 evenly spaced nodes (n is rounded up to
+// the next even count, minimum 2, so the CoolWarm breakpoint lands on a
+// node).
+func NewColorLUT(f func(float64) Color, n int) *ColorLUT {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	l := &ColorLUT{nodes: make([]Color, n+1), n: float64(n)}
+	for i := 0; i <= n; i++ {
+		l.nodes[i] = f(float64(i) / float64(n))
+	}
+	return l
+}
+
+// CoolWarmLUT tabulates the CoolWarm map (see NewColorLUT for sizing).
+func CoolWarmLUT(n int) *ColorLUT {
+	return NewColorLUT(CoolWarm, n)
+}
+
+// Eval interpolates the table at t (clamped to [0, 1]). NaN maps to the
+// t = 0 node's segment start, matching CoolWarm's NaN handling only in
+// that it stays finite; callers normalizing scalars never produce NaN.
+func (l *ColorLUT) Eval(t float64) Color {
+	x := t * l.n
+	if !(x > 0) { // catches t <= 0 and NaN
+		return l.nodes[0]
+	}
+	if x >= l.n {
+		return l.nodes[len(l.nodes)-1]
+	}
+	i := int(x)
+	u := x - float64(i)
+	a, b := l.nodes[i], l.nodes[i+1]
+	return Color{
+		a[0] + u*(b[0]-a[0]),
+		a[1] + u*(b[1]-a[1]),
+		a[2] + u*(b[2]-a[2]),
+		a[3] + u*(b[3]-a[3]),
+	}
+}
+
+// TFLUT is a transfer function with its colormap tabulated. The color
+// channel comes from a ColorLUT (exact for the piecewise-linear CoolWarm);
+// the opacity ramp is quadratic in t, so it is evaluated in closed form —
+// two multiply-adds — rather than tabulated, keeping the fast path within
+// floating-point rounding of TransferFunction.Eval instead of within
+// table-interpolation error.
+type TFLUT struct {
+	tf  TransferFunction
+	lut *ColorLUT
+}
+
+// tfLUTSize is sized so two adjacent Color nodes (64 B) plus the index
+// math stay resident in L1 across a frame while the table remains exact
+// for CoolWarm (any even size is exact; 512 segments also keeps other
+// piecewise-smooth maps below ~1e-6 interpolation error).
+const tfLUTSize = 512
+
+// LUT tabulates the transfer function's colormap for the render hot path.
+func (tf TransferFunction) LUT() *TFLUT {
+	return &TFLUT{tf: tf, lut: CoolWarmLUT(tfLUTSize)}
+}
+
+// Eval returns the color and opacity for scalar v, matching
+// TransferFunction.Eval to floating-point rounding.
+func (l *TFLUT) Eval(v float64) (Color, float64) {
+	t := l.tf.Norm.Norm(v)
+	if t < l.tf.Transparent {
+		return l.lut.Eval(t), 0
+	}
+	alpha := l.tf.OpacityScale * (0.02 + 0.98*t*t)
+	if alpha > 1 {
+		alpha = 1
+	}
+	return l.lut.Eval(t), alpha
+}
+
+// MaxOpacity returns a conservative upper bound on the opacity the
+// transfer function can assign to any scalar in [lo, hi]. The bound backs
+// macrocell empty-space skipping: a zero bound proves every sample in the
+// cell is fully transparent, so the marcher may skip it without changing
+// the image. The bound is slackened by a relative epsilon so values within
+// floating-point noise of the transparency threshold never count as
+// skippable.
+func (tf TransferFunction) MaxOpacity(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	t := tf.Norm.Norm(hi)
+	// Slack: a sample reconstructed at a macrocell face can exceed the
+	// cell's tabulated max by a few ulps; nudge the bound upward so the
+	// transparency test stays conservative.
+	t += 1e-9
+	if t < tf.Transparent {
+		return 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	alpha := tf.OpacityScale * (0.02 + 0.98*t*t)
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha
+}

@@ -184,40 +184,35 @@ func (c Camera) basis() (forward, right, up mesh.Vec3) {
 }
 
 // Ray returns the world-space ray through pixel (px, py) of a w×h image
-// (pixel centers).
+// (pixel centers). Loops generating many rays should build one
+// Camera.Frame and call Frame.Ray instead: this convenience form rebuilds
+// the basis and re-evaluates math.Tan on every call.
 func (c Camera) Ray(px, py, w, h int) (orig, dir mesh.Vec3) {
-	forward, right, up := c.basis()
-	tanHalf := math.Tan(c.FOVDeg * math.Pi / 360)
-	aspect := float64(w) / float64(h)
-	u := (2*(float64(px)+0.5)/float64(w) - 1) * tanHalf * aspect
-	v := (1 - 2*(float64(py)+0.5)/float64(h)) * tanHalf
-	dir = forward.Add(right.Scale(u)).Add(up.Scale(v)).Normalize()
-	return c.Eye, dir
+	f := c.Frame(w, h)
+	return f.Ray(px, py)
 }
 
 // Project maps a world point to pixel coordinates and camera depth.
-// ok is false for points at or behind the eye plane.
+// ok is false for points at or behind the eye plane. As with Ray, loops
+// projecting many points should go through one Camera.Frame.
 func (c Camera) Project(p mesh.Vec3, w, h int) (sx, sy, depth float64, ok bool) {
-	forward, right, up := c.basis()
-	d := p.Sub(c.Eye)
-	z := d.Dot(forward)
-	if z <= 1e-9 {
-		return 0, 0, 0, false
-	}
-	tanHalf := math.Tan(c.FOVDeg * math.Pi / 360)
-	aspect := float64(w) / float64(h)
-	x := d.Dot(right) / (z * tanHalf * aspect)
-	y := d.Dot(up) / (z * tanHalf)
-	sx = (x*0.5 + 0.5) * float64(w)
-	sy = (0.5 - y*0.5) * float64(h)
-	return sx, sy, z, true
+	f := c.Frame(w, h)
+	return f.Project(p)
 }
 
 // DrawLine rasterizes a depth-tested line between world points a and b
-// with colors ca and cb interpolated along it.
+// with colors ca and cb interpolated along it. Both endpoints project
+// through one cached camera frame.
 func (im *Image) DrawLine(cam Camera, a, b mesh.Vec3, ca, cb Color) {
-	ax, ay, az, okA := cam.Project(a, im.W, im.H)
-	bx, by, bz, okB := cam.Project(b, im.W, im.H)
+	fr := cam.Frame(im.W, im.H)
+	im.DrawLineFrame(&fr, a, b, ca, cb)
+}
+
+// DrawLineFrame is DrawLine through a prebuilt camera frame, for callers
+// rasterizing many segments of the same view (the streamline renderer).
+func (im *Image) DrawLineFrame(fr *Frame, a, b mesh.Vec3, ca, cb Color) {
+	ax, ay, az, okA := fr.Project(a)
+	bx, by, bz, okB := fr.Project(b)
 	if !okA || !okB {
 		return
 	}
@@ -295,12 +290,21 @@ type TransferFunction struct {
 	Norm Normalizer
 	// OpacityScale is the opacity per unit sample at full intensity.
 	OpacityScale float64
+	// Transparent is a normalized-scalar threshold below which the
+	// opacity is exactly zero: the classic transfer-function design that
+	// hides the quiescent background and creates the empty space the
+	// macrocell marcher skips. The zero value keeps every sample visible
+	// (the pre-existing behavior).
+	Transparent float64
 }
 
 // Eval returns the premultiplied color and opacity for scalar v.
 func (tf TransferFunction) Eval(v float64) (Color, float64) {
 	t := tf.Norm.Norm(v)
 	c := CoolWarm(t)
+	if t < tf.Transparent {
+		return c, 0
+	}
 	// Opacity ramps with the normalized scalar so the energetic region
 	// dominates the image.
 	alpha := tf.OpacityScale * (0.02 + 0.98*t*t)

@@ -7,6 +7,12 @@
 // floating-point work (trilinear reconstruction + blending) over a
 // cache-hot volume makes this the highest-IPC, highest-power algorithm of
 // the eight — the archetypal power-sensitive workload.
+//
+// Two samplers live here. The hot path (Renderer, march.go) marches rays
+// incrementally in index space with macrocell empty-space skipping and a
+// tabulated transfer function; the straightforward world-space sampler
+// (reference.go) is retained as the correctness oracle — golden tests
+// hold the fast path within 1e-6 per channel of it.
 package volren
 
 import (
@@ -14,7 +20,6 @@ import (
 	"math"
 
 	"repro/internal/mesh"
-	"repro/internal/ops"
 	"repro/internal/render"
 	"repro/internal/viz"
 )
@@ -30,6 +35,15 @@ type Options struct {
 	Width, Height int
 	// OpacityScale tunes the transfer function. Default 0.25.
 	OpacityScale float64
+	// Transparent is the transfer function's normalized transparency
+	// threshold (render.TransferFunction.Transparent). Zero — the
+	// default, and what the paper-faithful harness sweeps use — keeps
+	// every sample visible; a positive threshold creates the empty space
+	// the macrocell marcher skips.
+	Transparent float64
+	// Reference forces the retained straightforward sampler instead of
+	// the macrocell marcher (for A/B runs and the ablation benchmarks).
+	Reference bool
 	// Sink, when non-nil, receives every rendered image together with
 	// its orbit azimuth — the hook the image-database (Cinema-style)
 	// writer uses. Images are otherwise discarded after accounting.
@@ -62,30 +76,11 @@ func New(opts Options) *Filter {
 // Name implements viz.Filter.
 func (f *Filter) Name() string { return "Volume Rendering" }
 
-// rayBox returns the parametric overlap of a ray with bounds.
+// rayBox returns the parametric overlap of a ray with bounds. It is the
+// shared mesh.RayBox slab test; the wrapper survives for the package's
+// historical tests and callers.
 func rayBox(orig, dir mesh.Vec3, b mesh.Bounds) (t0, t1 float64, ok bool) {
-	t0, t1 = 0, math.Inf(1)
-	for a := 0; a < 3; a++ {
-		if dir[a] == 0 {
-			if orig[a] < b.Lo[a] || orig[a] > b.Hi[a] {
-				return 0, 0, false
-			}
-			continue
-		}
-		inv := 1 / dir[a]
-		ta := (b.Lo[a] - orig[a]) * inv
-		tb := (b.Hi[a] - orig[a]) * inv
-		if ta > tb {
-			ta, tb = tb, ta
-		}
-		if ta > t0 {
-			t0 = ta
-		}
-		if tb < t1 {
-			t1 = tb
-		}
-	}
-	return t0, t1, t0 <= t1
+	return mesh.RayBox(orig, dir, b)
 }
 
 // Background is the canvas color behind the volume.
@@ -102,61 +97,13 @@ func RenderSegments(g *mesh.UniformGrid, field []float64, tf render.TransferFunc
 }
 
 // RenderSegmentsInto is RenderSegments rendering into a caller-provided
-// framebuffer (reset here), allocating one only when im is nil. Orbit
-// loops that do not retain images pass the same image every frame.
+// framebuffer (reset here), allocating one only when im is nil. It runs
+// the accelerated marcher, building the acceleration state for this one
+// call; loops rendering many views of the same volume should build a
+// Renderer once instead.
 func RenderSegmentsInto(im *render.Image, g *mesh.UniformGrid, field []float64, tf render.TransferFunction,
 	cam render.Camera, w, h int, ex *viz.Exec) *render.Image {
-	if im == nil || im.W != w || im.H != h {
-		im = render.NewImage(w, h)
-	} else {
-		im.Reset()
-	}
-	b := g.Bounds()
-	step := math.Min(g.Spacing[0], math.Min(g.Spacing[1], g.Spacing[2])) * 0.75
-
-	ex.Rec(0).Launch()
-	ex.Pool.For(w*h, 0, func(lo, hi, worker int) {
-		rec := ex.Rec(worker)
-		var samples uint64
-		for pix := lo; pix < hi; pix++ {
-			px, py := pix%w, pix/w
-			orig, dir := cam.Ray(px, py, w, h)
-			t0, t1, ok := rayBox(orig, dir, b)
-			if !ok {
-				continue
-			}
-			var cr, cg, cb, alpha float64
-			for t := t0 + step*0.5; t < t1; t += step {
-				p := orig.Add(dir.Scale(t))
-				v, ok := mesh.SampleScalarField(g, field, p)
-				if !ok {
-					continue
-				}
-				samples++
-				col, a := tf.Eval(v)
-				// Front-to-back compositing.
-				w := (1 - alpha) * a
-				cr += w * col[0]
-				cg += w * col[1]
-				cb += w * col[2]
-				alpha += w
-				if alpha > 0.99 {
-					break
-				}
-			}
-			im.Pix[pix] = render.Color{cr, cg, cb, alpha}
-		}
-		n := uint64(hi - lo)
-		// Per sample: a trilinear reconstruction (8 corner loads from
-		// the cache-hot volume, ~30 flops), a transfer-function lookup,
-		// and the compositing blend.
-		rec.Flops(samples*52 + n*18)
-		rec.IntOps(samples*16 + n*8)
-		rec.Branches(samples*4 + n*3)
-		rec.Loads(samples*64, ops.Resident)
-		rec.Stores(n*4, ops.Stream)
-	})
-	return im
+	return NewRenderer(g, field, tf, ex).RenderSegmentsInto(im, cam, w, h, ex)
 }
 
 // BlendBackground flattens a premultiplied segment image over the canvas.
@@ -203,8 +150,21 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	tf := render.TransferFunction{
 		Norm:         render.Normalizer{Lo: lo, Hi: hi},
 		OpacityScale: f.opts.OpacityScale,
+		Transparent:  f.opts.Transparent,
 	}
 	b := g.Bounds()
+	// The acceleration state (macrocell grid + LUT) is built once and
+	// amortized over the whole 50-image orbit.
+	var r *Renderer
+	if !f.opts.Reference {
+		r = NewRenderer(g, field, tf, ex)
+	}
+	renderInto := func(im *render.Image, cam render.Camera) *render.Image {
+		if r != nil {
+			return r.RenderImageInto(im, cam, f.opts.Width, f.opts.Height, ex)
+		}
+		return RenderImageReferenceInto(im, g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
+	}
 	// With no sink retaining frames, the whole orbit reuses one
 	// framebuffer; a sink may hold the image past the frame, so it gets a
 	// fresh one each time.
@@ -213,10 +173,9 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		az := 2 * math.Pi * float64(i) / float64(f.opts.Images)
 		cam := render.OrbitCamera(b, az, 0.35, 2.0)
 		if f.opts.Sink != nil {
-			im := RenderImage(g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
-			f.opts.Sink(i, az, im)
+			f.opts.Sink(i, az, renderInto(nil, cam))
 		} else {
-			reuse = RenderImageInto(reuse, g, field, tf, cam, f.opts.Width, f.opts.Height, ex)
+			reuse = renderInto(reuse, cam)
 		}
 	}
 	// Rays resample the whole volume every image: the working set is the
