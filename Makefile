@@ -9,6 +9,10 @@
 #   make bench-render - the render hot-path benchmarks recorded in
 #                  BENCH_PR3.json (volren marcher, traced frame, BVH
 #                  build, cinema encode queue), with -benchmem
+#   make bench-advect - the advection hot-path benchmarks recorded in
+#                  BENCH_PR4.json (fused-sampler SoA integrator vs the
+#                  reference, fixed + adaptive, 32^3/64^3/128^3, plus
+#                  the scratch-leased clover sweep), with -benchmem
 #
 # Every test target carries -timeout 120s: the fabric tests deliberately
 # create would-be deadlocks and rely on cancellation to unblock, so a
@@ -19,7 +23,7 @@ GO ?= go
 # Packages whose tests exercise multi-worker pools and shared buffers.
 RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist
 
-.PHONY: check vet build test race bench bench-render
+.PHONY: check vet build test race bench bench-render bench-advect
 
 check: vet build test race
 
@@ -34,6 +38,7 @@ test:
 
 race:
 	$(GO) test -race -count=1 -timeout 120s $(RACE_PKGS)
+	$(GO) test -race -count=1 -timeout 120s ./internal/viz/advect -run 'Compact|Golden'
 	$(GO) test -race -count=1 -timeout 120s ./internal/harness -run 'Failure|Retry|Partial'
 
 bench:
@@ -45,3 +50,8 @@ bench-render:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkVolrenFrame|BenchmarkRayTraceFrame|BenchmarkBVHBuildPaths|BenchmarkCinemaOrbitSink' \
 		-benchtime 5x
+
+bench-advect:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkAdvectPaths|BenchmarkCloverSweep' \
+		-benchtime 3x

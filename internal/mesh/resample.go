@@ -26,9 +26,12 @@ func ResampleCube(g *UniformGrid, n int) (*UniformGrid, error) {
 			}
 		}
 	}
-	samplePts := func(src []float64, dst []float64) {
+	// Resolve each source field into a sampler once; destination points
+	// walk the grid in order, so the sampler's cached cell covers most
+	// probes (bit-identical to the per-probe SampleScalarField path).
+	samplePts := func(s *ScalarSampler, dst []float64) {
 		for id := range dst {
-			v, ok := SampleScalarField(g, src, out.PointPosition(id))
+			v, ok := s.Sample(out.PointPosition(id))
 			if !ok {
 				v = 0
 			}
@@ -36,27 +39,31 @@ func ResampleCube(g *UniformGrid, n int) (*UniformGrid, error) {
 		}
 	}
 	for name := range g.cellFields {
-		src := g.pointFields[name]
+		s := ScalarSamplerFor(g, g.pointFields[name])
 		cf := out.AddCellField(name)
 		for c := range cf {
-			v, ok := SampleScalarField(g, src, out.CellCenter(c))
+			v, ok := s.Sample(out.CellCenter(c))
 			if !ok {
 				v = 0
 			}
 			cf[c] = v
 		}
-		samplePts(src, out.AddPointField(name))
+		samplePts(s, out.AddPointField(name))
 	}
 	for name, src := range g.pointFields {
 		if out.pointFields[name] != nil {
 			continue // already produced alongside the cell field
 		}
-		samplePts(src, out.AddPointField(name))
+		samplePts(ScalarSamplerFor(g, src), out.AddPointField(name))
 	}
 	for name := range g.pointVectors {
+		s, err := NewVectorSampler(g, name)
+		if err != nil {
+			return nil, err
+		}
 		dst := out.AddPointVector(name)
 		for id := range dst {
-			v, ok := g.SampleVector(name, out.PointPosition(id))
+			v, ok := s.Sample(out.PointPosition(id))
 			if !ok {
 				v = Vec3{}
 			}

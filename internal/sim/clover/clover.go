@@ -289,11 +289,24 @@ func (s *Sim) sweep(dir int, dt float64, pool *par.Pool, recs []ops.Recorder, gh
 	}
 
 	pool.For(nPencils, 0, func(lo, hi, worker int) {
-		// Per-worker face-flux buffer for one pencil (n+1 faces).
-		fluxes := make([]state5, n+1)
+		// Face-flux and slope buffers for one pencil (n+1 faces), leased
+		// from the pool's scratch store so the three sweeps of every step
+		// reuse warm allocations instead of reallocating per chunk.
+		// Capacity is checked because nx/ny/nz can differ across axes.
+		ss, _ := pool.GetScratch(sweepScratchKey{}).(*sweepScratch)
+		if ss == nil {
+			ss = &sweepScratch{}
+		}
+		if cap(ss.fluxes) < n+1 {
+			ss.fluxes = make([]state5, n+1)
+		}
+		fluxes := ss.fluxes[:n+1]
 		var slopes []state5
 		if s.opts.SecondOrder {
-			slopes = make([]state5, n)
+			if cap(ss.slopes) < n {
+				ss.slopes = make([]state5, n)
+			}
+			slopes = ss.slopes[:n]
 		}
 		for pencil := lo; pencil < hi; pencil++ {
 			if s.opts.SecondOrder {
@@ -368,8 +381,19 @@ func (s *Sim) sweep(dir int, dt float64, pool *par.Pool, recs []ops.Recorder, gh
 				rec.Branches(nc * 2)
 			}
 		}
+		pool.PutScratch(sweepScratchKey{}, ss)
 	})
 }
+
+// sweepScratch holds the per-chunk pencil buffers of sweep, leased from
+// the worker pool's scratch store across sweeps and steps.
+type sweepScratch struct {
+	fluxes []state5
+	slopes []state5
+}
+
+// sweepScratchKey keys sweepScratch leases in the pool scratch store.
+type sweepScratchKey struct{}
 
 // minmod is the classic slope limiter: the smaller-magnitude of the two
 // one-sided differences when they agree in sign, zero at extrema.

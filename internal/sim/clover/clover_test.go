@@ -261,3 +261,27 @@ func TestSecondOrderIsLessDiffusive(t *testing.T) {
 		t.Errorf("second-order L1 error %.4e not below first-order %.4e", e2, e1)
 	}
 }
+
+// TestSweepScratchReuse pins the sweep's pencil buffers to the pool
+// scratch store: after a warm-up step, repeated sweeps must not allocate
+// fresh flux/slope slices per chunk.
+func TestSweepScratchReuse(t *testing.T) {
+	for _, secondOrder := range []bool{false, true} {
+		s, err := New(16, Options{SecondOrder: secondOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := par.NewPool(1) // serial pool: no worker-goroutine noise
+		dt := s.DT(s.MaxSignalSpeed(pool, nil))
+		s.SweepXY(dt, pool, nil) // warm the scratch lease
+		allocs := testing.AllocsPerRun(5, func() {
+			s.SweepXY(dt, pool, nil)
+		})
+		// refreshEOS reductions may allocate a few accumulator cells;
+		// the per-chunk []state5 buffers (16 chunks x 2 sweeps) must not
+		// show up.
+		if allocs > 8 {
+			t.Errorf("secondOrder=%v: SweepXY allocates %v objects/run, want scratch reuse (<= 8)", secondOrder, allocs)
+		}
+	}
+}

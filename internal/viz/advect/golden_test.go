@@ -1,0 +1,315 @@
+package advect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+// shearFlow builds a non-pow2-unfriendly swirling field that keeps most
+// particles inside the box for the whole step budget.
+func shearFlow(t testing.TB, n int) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewCubeGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.AddPointVector("velocity")
+	for id := 0; id < g.NumPoints(); id++ {
+		p := g.PointPosition(id)
+		v[id] = mesh.Vec3{
+			-(p[1] - 0.5) + 0.05*math.Sin(6*p[2]),
+			(p[0] - 0.5) * (1 + 0.2*p[2]),
+			0.03 * math.Cos(5*p[0]*p[1]),
+		}
+	}
+	return g
+}
+
+// assertGolden holds the fast path bit-identical to the reference: same
+// streamline points, speeds, topology, and the same operation profile up
+// to the launch count (the compacted path dispatches one launch per
+// round instead of one total).
+func assertGolden(t *testing.T, fast, ref *viz.Result) {
+	t.Helper()
+	if fast.Lines.NumLines() != ref.Lines.NumLines() {
+		t.Fatalf("lines: fast %d, ref %d", fast.Lines.NumLines(), ref.Lines.NumLines())
+	}
+	if len(fast.Lines.Points) != len(ref.Lines.Points) {
+		t.Fatalf("points: fast %d, ref %d", len(fast.Lines.Points), len(ref.Lines.Points))
+	}
+	for i := range ref.Lines.Offsets {
+		if fast.Lines.Offsets[i] != ref.Lines.Offsets[i] {
+			t.Fatalf("offset %d differs: fast %d, ref %d", i, fast.Lines.Offsets[i], ref.Lines.Offsets[i])
+		}
+	}
+	for i := range ref.Lines.Points {
+		if fast.Lines.Points[i] != ref.Lines.Points[i] {
+			t.Fatalf("point %d differs: fast %v, ref %v", i, fast.Lines.Points[i], ref.Lines.Points[i])
+		}
+		if fast.Lines.Scalars[i] != ref.Lines.Scalars[i] {
+			t.Fatalf("speed %d differs: fast %v, ref %v", i, fast.Lines.Scalars[i], ref.Lines.Scalars[i])
+		}
+	}
+	if err := fast.Lines.Validate(); err != nil {
+		t.Fatalf("fast line set invalid: %v", err)
+	}
+	pf, pr := fast.Profile, ref.Profile
+	pf.Launches, pr.Launches = 0, 0
+	if pf != pr {
+		t.Fatalf("profiles differ beyond launches:\nfast %+v\nref  %+v", pf, pr)
+	}
+}
+
+// TestGoldenFixedStep holds the fixed-step hot path bit-identical to the
+// reference integrator across grid sizes (pow2 and non-pow2 spacing) and
+// worker counts.
+func TestGoldenFixedStep(t *testing.T) {
+	for _, n := range []int{16, 12} {
+		for _, workers := range []int{1, 4} {
+			f := New(Options{NumParticles: 64, NumSteps: 700, StepLength: 0.002})
+			fast, err := f.Run(shearFlow(t, n), viz.NewExec(par.NewPool(workers)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := f.RunReference(shearFlow(t, n), viz.NewExec(par.NewPool(workers)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertGolden(t, fast, ref)
+		}
+	}
+}
+
+// TestGoldenFixedStepEarlyTermination exercises heavy compaction: a
+// uniform flow exits every particle long before the step budget.
+func TestGoldenFixedStepEarlyTermination(t *testing.T) {
+	f := New(Options{NumParticles: 27, NumSteps: 3000, StepLength: 0.002})
+	fast, err := f.Run(uniformFlow(t, 8), viz.NewExec(par.NewPool(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := f.RunReference(uniformFlow(t, 8), viz.NewExec(par.NewPool(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, fast, ref)
+}
+
+// TestGoldenAdaptive holds the adaptive (Bogacki–Shampine) hot path
+// bit-identical to the reference, including step rejection and growth.
+func TestGoldenAdaptive(t *testing.T) {
+	for _, n := range []int{16, 12} {
+		for _, tolerance := range []float64{1e-5, 1e-8} {
+			f := New(Options{NumParticles: 27, NumSteps: 1500, StepLength: 0.002,
+				Adaptive: true, Tolerance: tolerance})
+			fast, err := f.Run(shearFlow(t, n), viz.NewExec(par.NewPool(4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := f.RunReference(shearFlow(t, n), viz.NewExec(par.NewPool(4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertGolden(t, fast, ref)
+		}
+	}
+}
+
+// cornerRotationGrid spans a box whose origin is the rotation center, so
+// every particle orbits at a constant distance from g.Origin — the exact
+// geometry that made the old distance-from-origin crossing bucket
+// collapse all crossings of one orbit into a single bucket.
+func cornerRotationGrid(t testing.TB) *mesh.UniformGrid {
+	t.Helper()
+	g, err := mesh.NewUniformGrid([3]int{33, 33, 5},
+		mesh.Vec3{0, 0, 0}, mesh.Vec3{1.0 / 32, 1.0 / 32, 1.0 / 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.AddPointVector("velocity")
+	for id := 0; id < g.NumPoints(); id++ {
+		p := g.PointPosition(id)
+		v[id] = mesh.Vec3{-p[1], p[0], 0}
+	}
+	return g
+}
+
+// TestCrossingTangentialRegression is the crossing-bugfix regression
+// test: particles circling the grid origin at constant radius cross many
+// cells tangentially. The old bucket int(|p-Origin|/cellDiag) stays
+// constant along such an orbit (≈1 crossing per particle); the true cell
+// id must count every boundary crossing, which shows up as random-load
+// events in the profile.
+func TestCrossingTangentialRegression(t *testing.T) {
+	g := cornerRotationGrid(t)
+	// Seeds in the quarter-disc interior; 600 steps of 0.002 at speed
+	// ~|p| sweeps a long arc through many 1/32-wide cells.
+	f := New(Options{NumParticles: 8, NumSteps: 600, StepLength: 0.002})
+	seeds := []mesh.Vec3{
+		{0.60, 0.10, 0.06}, {0.50, 0.30, 0.06}, {0.30, 0.50, 0.06}, {0.10, 0.60, 0.06},
+		{0.80, 0.20, 0.06}, {0.20, 0.80, 0.06}, {0.55, 0.55, 0.06}, {0.40, 0.20, 0.06},
+	}
+	fast := f.run(g, viz.NewExec(par.NewPool(2)), seeds)
+	ref := f.runReference(g, viz.NewExec(par.NewPool(2)), seeds)
+	assertGolden(t, fast, ref)
+	// Each surviving particle's arc is ~0.6·r world units ≥ several cell
+	// widths; require well over one crossing per particle.
+	minCrossings := uint64(10 * len(seeds))
+	if fast.Profile.RandomAccesses < minCrossings {
+		t.Fatalf("tangential orbits recorded %d crossings, want >= %d (distance-bucket collision?)",
+			fast.Profile.RandomAccesses, minCrossings)
+	}
+}
+
+// TestAdaptiveSeedOutsideBounds: out-of-bounds seeds must die at the
+// seed sample in both modes, produce no line, and still account the
+// reference's one-crossing arc estimate in adaptive mode.
+func TestAdaptiveSeedOutsideBounds(t *testing.T) {
+	g := shearFlow(t, 8)
+	outside := []mesh.Vec3{
+		{-0.5, 0.5, 0.5}, {0.5, 1.5, 0.5}, {2, 2, 2},
+		{0.5, 0.5, 0.5}, // one inside control
+	}
+	for _, adaptive := range []bool{false, true} {
+		f := New(Options{NumParticles: 4, NumSteps: 200, StepLength: 0.002,
+			Adaptive: adaptive, Tolerance: 1e-6})
+		fast := f.run(g, viz.NewExec(par.NewPool(2)), outside)
+		ref := f.runReference(g, viz.NewExec(par.NewPool(2)), outside)
+		assertGolden(t, fast, ref)
+		if fast.Lines.NumLines() != 1 {
+			t.Fatalf("adaptive=%v: want exactly the inside seed's line, got %d lines",
+				adaptive, fast.Lines.NumLines())
+		}
+	}
+}
+
+// TestAdaptiveZeroVelocityField: a zero field accepts every trial with
+// zero error, never moves, and must terminate on the accepted-step
+// budget rather than spin.
+func TestAdaptiveZeroVelocityField(t *testing.T) {
+	g, err := mesh.NewCubeGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddPointVector("velocity") // all zeros
+	f := New(Options{NumParticles: 8, NumSteps: 300, StepLength: 0.002, Adaptive: true})
+	fast, err := f.Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := f.RunReference(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, fast, ref)
+	for li := 0; li < fast.Lines.NumLines(); li++ {
+		lo, hi := fast.Lines.Line(li)
+		if hi-lo != 301 { // seed + NumSteps accepted (stationary) points
+			t.Fatalf("line %d has %d points, want 301", li, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if fast.Lines.Points[i] != fast.Lines.Points[lo] {
+				t.Fatalf("stationary particle moved: %v -> %v", fast.Lines.Points[lo], fast.Lines.Points[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveToleranceRejection: a near-zero tolerance forces the
+// controller through rejected trials (visible as the 20-flop controller
+// charges) while the streamlines stay bit-identical to the reference.
+func TestAdaptiveToleranceRejection(t *testing.T) {
+	g := shearFlow(t, 16)
+	strict := New(Options{NumParticles: 8, NumSteps: 120, StepLength: 0.02,
+		Adaptive: true, Tolerance: 1e-13})
+	loose := New(Options{NumParticles: 8, NumSteps: 120, StepLength: 0.02,
+		Adaptive: true, Tolerance: 1e-3})
+	fastStrict, err := strict.Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStrict, err := strict.RunReference(shearFlow(t, 16), viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, fastStrict, refStrict)
+	fastLoose, err := loose.Run(g, viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rejected trials charge controller flops on top of the per-sample
+	// work: the strict run must burn measurably more flops per accepted
+	// point than the loose one.
+	strictPerPt := float64(fastStrict.Profile.Flops) / float64(fastStrict.Lines.TotalPoints())
+	loosePerPt := float64(fastLoose.Profile.Flops) / float64(fastLoose.Lines.TotalPoints())
+	if strictPerPt <= loosePerPt {
+		t.Fatalf("tolerance 1e-13 should reject trials: %.1f flops/pt vs %.1f at 1e-3",
+			strictPerPt, loosePerPt)
+	}
+}
+
+// TestCompactedLoopParallel drives the compacted SoA loop with staggered
+// terminations on a many-worker pool — the -race target's entry point
+// for this package — and checks worker-count invariance on top of
+// golden equality.
+func TestCompactedLoopParallel(t *testing.T) {
+	// Uniform flow kills particles at different rounds depending on
+	// their seed x; rotation keeps others alive to the budget.
+	g := shearFlow(t, 16)
+	f := New(Options{NumParticles: 256, NumSteps: 900, StepLength: 0.002})
+	ref, err := f.RunReference(shearFlow(t, 16), viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		ex := viz.NewExec(par.NewPool(workers))
+		fast, err := f.Run(g, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGolden(t, fast, ref)
+	}
+	// Adaptive mode through the same compacted machinery.
+	fa := New(Options{NumParticles: 128, NumSteps: 600, StepLength: 0.002, Adaptive: true})
+	refA, err := fa.RunReference(shearFlow(t, 16), viz.NewExec(par.NewPool(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastA, err := fa.Run(g, viz.NewExec(par.NewPool(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, fastA, refA)
+}
+
+// TestFixedPathAllocs asserts the arena/scratch design pays off: after a
+// warm-up run the fixed-step hot path allocates at least 10× less than
+// the reference integrator's per-particle append slices.
+func TestFixedPathAllocs(t *testing.T) {
+	g := shearFlow(t, 16)
+	f := New(Options{NumParticles: 256, NumSteps: 400, StepLength: 0.002})
+	pool := par.NewPool(1) // serial: no worker-goroutine noise in the counts
+	ex := viz.NewExec(pool)
+	run := func() {
+		if _, err := f.Run(g, ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch lease
+	fastAllocs := testing.AllocsPerRun(3, run)
+	refAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := f.RunReference(g, ex); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if refAllocs < 1 {
+		t.Fatalf("reference allocations implausibly low: %v", refAllocs)
+	}
+	if fastAllocs*10 > refAllocs {
+		t.Fatalf("allocs/op: fast %v vs reference %v, want >= 10x reduction", fastAllocs, refAllocs)
+	}
+}

@@ -1,0 +1,145 @@
+package advect
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/viz"
+)
+
+// RunReference is the straightforward integrator retained as the
+// correctness oracle for the compacted sampler-based hot path and as the
+// baseline of the advection benchmarks (the same pattern as volren's
+// RenderSegmentsReference and raytrace's BuildBVHReference): every RK4
+// stage resolves the vector field by name through g.SampleVector, paying
+// the per-sample map lookup, world-space locate, and per-component corner
+// walk, and every particle grows its own pts/spd slices with append. The
+// golden tests hold Run bit-identical to this path — streamline points,
+// speeds, and the full operation profile (modulo launch count).
+//
+// The one deliberate change from the original integrator is the
+// cell-crossing metric: it uses the true linearized cell id
+// (mesh.(*UniformGrid).CellIndex) instead of the old
+// distance-from-origin bucket, which collided distinct cells at equal
+// radius and undercounted crossings. Both paths share the fix so their
+// profiles stay comparable.
+func (f *Filter) RunReference(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
+	if g.PointVector(f.opts.Vector) == nil {
+		return nil, missingVectorErr(f.opts.Vector)
+	}
+	starts := seeds(g.Bounds(), f.opts.NumParticles)
+	return f.runReference(g, ex, starts), nil
+}
+
+// runReference integrates an explicit seed list (tests inject
+// out-of-bounds seeds through this).
+func (f *Filter) runReference(g *mesh.UniformGrid, ex *viz.Exec, starts []mesh.Vec3) *viz.Result {
+	b := g.Bounds()
+	h := f.opts.StepLength
+
+	type line struct {
+		pts []mesh.Vec3
+		spd []float64
+	}
+	lines := make([]line, len(starts))
+	cellDiag := g.Spacing.Norm()
+	crossingsByWorker := make([]uint64, ex.Pool.Workers())
+
+	ex.Rec(0).Launch()
+	ex.Pool.For(len(starts), 0, func(lo, hi, worker int) {
+		rec := ex.Rec(worker)
+		var samples, crossings, stepsTaken uint64
+		for pi := lo; pi < hi; pi++ {
+			p := starts[pi]
+			if f.opts.Adaptive {
+				apts, aspd, aSamples, aRejects := integrateAdaptive(
+					g, f.opts.Vector, p, f.opts.Tolerance, h,
+					float64(f.opts.NumSteps)*h, f.opts.NumSteps)
+				samples += aSamples
+				arc := 0.0
+				for i := 1; i < len(apts); i++ {
+					arc += apts[i].Sub(apts[i-1]).Norm()
+				}
+				crossings += uint64(arc/cellDiag) + 1
+				stepsTaken += uint64(len(apts))
+				// Rejected trials cost controller flops too.
+				rec.Flops(aRejects * 20)
+				lines[pi] = line{pts: apts, spd: aspd}
+				continue
+			}
+			pts := make([]mesh.Vec3, 0, f.opts.NumSteps/4)
+			spd := make([]float64, 0, f.opts.NumSteps/4)
+			lastCell := -1
+			v0, ok := g.SampleVector(f.opts.Vector, p)
+			if !ok {
+				continue
+			}
+			pts = append(pts, p)
+			spd = append(spd, v0.Norm())
+			for s := 0; s < f.opts.NumSteps; s++ {
+				// RK4 with four field samples.
+				k1, ok1 := g.SampleVector(f.opts.Vector, p)
+				k2, ok2 := g.SampleVector(f.opts.Vector, p.Add(k1.Scale(h/2)))
+				k3, ok3 := g.SampleVector(f.opts.Vector, p.Add(k2.Scale(h/2)))
+				k4, ok4 := g.SampleVector(f.opts.Vector, p.Add(k3.Scale(h)))
+				samples += 4
+				if !(ok1 && ok2 && ok3 && ok4) {
+					break // left the bounding box: terminate
+				}
+				delta := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(h / 6)
+				p = p.Add(delta)
+				if !b.Contains(p) {
+					break
+				}
+				stepsTaken++
+				pts = append(pts, p)
+				spd = append(spd, k1.Norm())
+				// Track cell crossings for the memory model by the true
+				// linearized cell id.
+				if cell, inGrid := g.CellIndex(p); inGrid && cell != lastCell {
+					crossings++
+					lastCell = cell
+				}
+			}
+			lines[pi] = line{pts: pts, spd: spd}
+		}
+		// RK4 math: three trilinear component reconstructions (~90 flops)
+		// per sample plus the step combination; samples read a cache-hot
+		// 8-corner neighborhood (resident), and each cell crossing pulls
+		// fresh lines.
+		rec.Flops(samples*90 + stepsTaken*30)
+		rec.IntOps(samples * 24)
+		rec.Branches(samples * 6)
+		rec.Loads(samples*192, ops.Resident)
+		rec.LoadsN(crossings, 192, ops.Random)
+		rec.Stores(stepsTaken*32, ops.Stream)
+		crossingsByWorker[worker] += crossings
+	})
+
+	out := mesh.NewLineSet()
+	totalSteps := 0
+	for _, l := range lines {
+		if len(l.pts) >= 2 {
+			out.AppendLine(l.pts, l.spd)
+			totalSteps += len(l.pts)
+		}
+	}
+	// The footprint is the field data along the particle paths (capped at
+	// the full field: paths overlap) plus the streamline output. Because
+	// seed count, step length, and step count are size-independent, so is
+	// this working set — the paper's Fig. 6 flat-IPC mechanism.
+	var totalCrossings uint64
+	for _, c := range crossingsByWorker {
+		totalCrossings += c
+	}
+	pathBytes := totalCrossings * 96
+	if fieldBytes := uint64(g.NumPoints()) * 24; pathBytes > fieldBytes {
+		pathBytes = fieldBytes
+	}
+	ex.Rec(0).WorkingSet(pathBytes + uint64(totalSteps)*32)
+
+	return &viz.Result{
+		Profile:  ex.Drain(),
+		Elements: int64(g.NumCells()),
+		Lines:    out,
+	}
+}
