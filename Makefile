@@ -13,6 +13,9 @@
 #                  BENCH_PR4.json (fused-sampler SoA integrator vs the
 #                  reference, fixed + adaptive, 32^3/64^3/128^3, plus
 #                  the scratch-leased clover sweep), with -benchmem
+#   make profile - run the vizpower profile subcommand at demonstration
+#                  scale into out/profile (trace.json + summary.txt),
+#                  validating the exported JSON
 #
 # Every test target carries -timeout 120s: the fabric tests deliberately
 # create would-be deadlocks and rely on cancellation to unblock, so a
@@ -21,9 +24,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry
 
-.PHONY: check vet build test race bench bench-render bench-advect
+.PHONY: check vet build test race bench bench-render bench-advect profile
 
 check: vet build test race
 
@@ -33,7 +36,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
+test: vet
 	$(GO) test -timeout 120s ./...
 
 race:
@@ -55,3 +58,9 @@ bench-advect:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkAdvectPaths|BenchmarkCloverSweep' \
 		-benchtime 3x
+
+# Run the telemetry subcommand at demonstration scale and confirm the
+# exported trace parses as Chrome trace-event JSON (the CLI re-validates
+# the written bytes and fails the command otherwise).
+profile:
+	$(GO) run ./cmd/vizpower profile -quick -cap 80 -cycles 3 -out out/profile

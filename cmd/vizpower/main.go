@@ -21,11 +21,15 @@
 //	fig6      IPC vs. cap by size — particle advection (Figure 6)
 //	classify  demand power / IPC / miss rate / class per algorithm
 //	trace     in situ power timeline under a cap (simulate+visualize)
+//	profile   execution telemetry: run in situ cycles under a cap and
+//	          write a Perfetto-loadable trace.json plus a stage summary
 //	allocate  split a node power budget between simulation and viz
 //	all       regenerate everything into -out (tables, CSVs, images)
 //
 // Common flags: -quick shrinks the study for a fast demonstration;
-// -progress streams per-run log lines to stderr.
+// -progress streams per-run log lines to stderr. Any command accepts
+// -trace FILE (write a Chrome trace-event JSON of the run's pipeline
+// and pool activity) and -cpuprofile FILE (write a pprof CPU profile).
 package main
 
 import (
@@ -34,8 +38,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cinema"
 	"repro/internal/cluster"
@@ -46,6 +52,7 @@ import (
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
 	"repro/internal/sim/clover"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 	"repro/internal/viz/raytrace"
 	"repro/internal/viz/volren"
@@ -60,15 +67,17 @@ func main() {
 }
 
 type options struct {
-	cfg      *harness.Config
-	csv      bool
-	out      string
-	capW     float64
-	budget   float64
-	cycles   int
-	figSize  int
-	alg      string
-	extended bool
+	cfg        *harness.Config
+	csv        bool
+	out        string
+	capW       float64
+	budget     float64
+	cycles     int
+	figSize    int
+	alg        string
+	extended   bool
+	traceFile  string
+	cpuprofile string
 }
 
 func parseFlags(cmd string, args []string) (*options, error) {
@@ -91,6 +100,8 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		figRes    = fs.Int("figres", 256, "figure-1 rendering resolution")
 		alg       = fs.String("alg", "Contour", "algorithm name (arch)")
 		extended  = fs.Bool("extended", false, "include the extension filters (classify)")
+		traceF    = fs.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (load in Perfetto)")
+		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of this run to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -137,15 +148,20 @@ func parseFlags(cmd string, args []string) (*options, error) {
 	if *progress {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  [progress]", line) }
 	}
+	// Sweep heartbeat: one line per executed (algorithm, size) cell so a
+	// long campaign is observably alive. Tests construct Config directly
+	// and stay quiet.
+	cfg.Heartbeat = os.Stderr
 	cfg.Defaults()
 	return &options{
 		cfg: cfg, csv: *csv, out: *out,
 		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
 		alg: *alg, extended: *extended,
+		traceFile: *traceF, cpuprofile: *cpuprof,
 	}, nil
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing command")
@@ -156,6 +172,35 @@ func run(args []string) error {
 		return err
 	}
 	c := opt.cfg
+
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	if opt.traceFile != "" {
+		// One tracer across the whole invocation: harness cell spans on
+		// the pipeline track, pool chunk spans on the worker tracks.
+		tr := telemetry.New(c.Pool.Workers())
+		c.Pool.Instrument(tr)
+		c.Tracer = tr
+		defer func() {
+			if err := writeTraceFile(opt.traceFile, tr); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
 
 	emitFig := func(title string, series []harness.Series) {
 		if opt.csv {
@@ -261,6 +306,8 @@ func run(args []string) error {
 		return feedbackCmd(c, opt)
 	case "trace":
 		return traceCmd(c, opt)
+	case "profile":
+		return profileCmd(c, opt)
 	case "allocate":
 		return allocateCmd(c, opt)
 	case "all":
@@ -441,6 +488,96 @@ func traceCmd(c *harness.Config, opt *options) error {
 		fmt.Printf("%-10.2f %-10.2f %-10.2f %-10.2f %-10.3f\n",
 			s.TimeSec, s.PowerW, s.EffFreqGHz, s.IPC, s.LLCMissRate)
 	}
+	return nil
+}
+
+// profileCmd is the telemetry entry point: run -cycles in situ cycles
+// under the -cap RAPL limit with the tracer attached to both the
+// pipeline (stage spans) and the worker pool (launch and chunk spans),
+// then write a Perfetto-loadable trace.json and a plain-text stage
+// summary into -out.
+func profileCmd(c *harness.Config, opt *options) error {
+	sim, err := clover.New(c.PhaseSize/2, clover.Options{})
+	if err != nil {
+		return err
+	}
+	pipe, err := core.NewPipeline(sim, c.Filters(), 10, c.Pool, c.Spec)
+	if err != nil {
+		return err
+	}
+	tr := c.Tracer // reuse the -trace tracer if one is already attached
+	if tr == nil {
+		tr = telemetry.New(c.Pool.Workers())
+		c.Pool.Instrument(tr)
+	}
+	pipe.Tracer = tr
+	pkg := rapl.NewPackage(msr.NewFile(), c.Spec)
+	if err := pkg.SetLimitWatts(opt.capW); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	_, results, err := pipe.Trace(pkg, opt.cycles, 0.1)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+
+	if err := os.MkdirAll(opt.out, 0o755); err != nil {
+		return err
+	}
+	tracePath := filepath.Join(opt.out, "trace.json")
+	if err := writeTraceFile(tracePath, tr); err != nil {
+		return err
+	}
+	spans := tr.Spans()
+	summaryPath := filepath.Join(opt.out, "summary.txt")
+	sf, err := os.Create(summaryPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteSummary(sf, spans, 10, wall.Nanoseconds()); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %d in situ cycles (%d governed segments) under a %.0f W cap in %.3fs\n",
+		opt.cycles, len(results), opt.capW, wall.Seconds())
+	fmt.Println("wrote", summaryPath)
+	if err := telemetry.WriteSummary(os.Stdout, spans, 5, wall.Nanoseconds()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeTraceFile exports the tracer's spans as Chrome trace-event JSON
+// and re-validates the written bytes, so a corrupt export fails the
+// command instead of failing later inside Perfetto.
+func writeTraceFile(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("trace export invalid: %w", err)
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "vizpower: trace buffers overflowed, %d spans dropped\n", d)
+	}
+	fmt.Printf("wrote %s (%d trace events, valid JSON; load at https://ui.perfetto.dev)\n", path, n)
 	return nil
 }
 
@@ -662,6 +799,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vizpower <command> [flags]
 commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           classify [-extended] arch [-alg NAME] export trace allocate
+          profile [-cap W -cycles N -out DIR]
           overprovision [-alg NAME -budget W] feedback [-cap W] all
-run "vizpower <command> -h" for flags; add -quick for a fast demonstration`)
+run "vizpower <command> -h" for flags; add -quick for a fast demonstration
+global: -trace FILE writes a Perfetto-loadable execution trace of any
+command; -cpuprofile FILE writes a pprof CPU profile`)
 }

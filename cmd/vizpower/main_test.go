@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunRejectsBadInput(t *testing.T) {
@@ -53,6 +56,59 @@ func TestRunExportWritesVTK(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
 			t.Errorf("missing %s: %v", want, err)
 		}
+	}
+}
+
+func TestRunProfileWritesValidTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"profile", "-quick", "-cap", "80", "-cycles", "2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("profile wrote an invalid trace: %v", err)
+	}
+	// At least the metadata events plus spans for 2 cycles x 8 filters.
+	if n < 20 {
+		t.Errorf("trace has only %d events", n)
+	}
+	sum, err := os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage summary", "Contour", "par.For"} {
+		if !strings.Contains(string(sum), want) {
+			t.Errorf("summary.txt missing %q", want)
+		}
+	}
+}
+
+func TestRunGlobalTraceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t1.json")
+	prof := filepath.Join(dir, "t1.pprof")
+	if err := run([]string{"table1", "-quick", "-trace", trace, "-cpuprofile", prof}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Errorf("-trace wrote an invalid trace: %v", err)
+	}
+	if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
+		t.Errorf("-cpuprofile wrote nothing: %v", err)
 	}
 }
 

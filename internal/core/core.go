@@ -17,6 +17,7 @@ import (
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
 	"repro/internal/sim/clover"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 )
 
@@ -66,7 +67,14 @@ type Pipeline struct {
 	StepsPerCycle int
 	Pool          *par.Pool
 	Spec          cpu.Spec
-	cycle         int
+	// Tracer, when non-nil, records one span per pipeline stage on the
+	// pipeline track: "simulate" (with one "sim.step" child per hydro
+	// step), "export" around the grid hand-off, one span per filter
+	// named as the paper names the algorithm, and "analyze" around the
+	// processor-model evaluation. Attach the same tracer to Pool (via
+	// Instrument) and the loop-launch spans nest under the stages.
+	Tracer *telemetry.Tracer
+	cycle  int
 }
 
 // NewPipeline couples a simulation with filters. steps is the number of
@@ -103,20 +111,29 @@ type CycleResult struct {
 // RunCycle advances the simulation StepsPerCycle steps, exports the grid,
 // and runs every filter on it.
 func (p *Pipeline) RunCycle() (*CycleResult, error) {
+	tr := p.Tracer
 	recs := make([]ops.Recorder, p.Pool.Workers())
+	simStart := tr.Begin()
 	for i := 0; i < p.StepsPerCycle; i++ {
+		s := tr.Begin()
 		p.Sim.Step(p.Pool, recs)
+		tr.End(telemetry.PipelineTrack, "sim.step", s)
 	}
+	tr.End(telemetry.PipelineTrack, "simulate", simStart)
 	simProfile := ops.DrainAll(recs)
 
+	expStart := tr.Begin()
 	g, err := p.Sim.Grid()
+	tr.End(telemetry.PipelineTrack, "export", expStart)
 	if err != nil {
 		return nil, err
 	}
 	ex := viz.NewExec(p.Pool)
 	var vizProfile ops.Profile
 	for _, f := range p.Filters {
+		fStart := tr.Begin()
 		res, err := f.Run(g, ex)
+		tr.End(telemetry.PipelineTrack, f.Name(), fStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: cycle %d: %w", p.cycle, err)
 		}
@@ -125,13 +142,16 @@ func (p *Pipeline) RunCycle() (*CycleResult, error) {
 	}
 
 	p.cycle++
-	return &CycleResult{
+	anStart := tr.Begin()
+	cr := &CycleResult{
 		Cycle:      p.cycle,
 		SimProfile: simProfile,
 		VizProfile: vizProfile,
 		SimExec:    cpu.Analyze(p.Spec, simProfile, 0),
 		VizExec:    cpu.Analyze(p.Spec, vizProfile, 0),
-	}, nil
+	}
+	tr.End(telemetry.PipelineTrack, "analyze", anStart)
+	return cr, nil
 }
 
 // Trace runs cycles of the pipeline under the RAPL limit programmed on

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // message is one typed payload on the fabric.
@@ -98,6 +100,12 @@ type Options struct {
 	SendTimeout time.Duration
 	// Fault injects deterministic faults for tests; nil is a clean fabric.
 	Fault *FaultPlan
+	// Tracer, when non-nil, records one span per rank operation —
+	// "dist.send", "dist.recv", "dist.barrier", "dist.gather" — on rank
+	// r's track (telemetry.WorkerTrack(r)), so a composite stalled on a
+	// slow or wedged peer is visible as a long span on the blocked rank.
+	// Create it with telemetry.New(rank count).
+	Tracer *telemetry.Tracer
 }
 
 // Comm is an in-process fabric connecting Size ranks. Each (src, dst)
@@ -228,8 +236,18 @@ func (e *Endpoint) Size() int { return e.comm.size }
 // Send delivers a copy of data to dst with a tag. It blocks while the
 // (src, dst) pair buffer is full and fails instead of deadlocking: with
 // an *AbortError once the run is cancelled, or with an error wrapping
-// ErrStalled when Options.SendTimeout elapses first.
+// ErrStalled when Options.SendTimeout elapses first. On a traced
+// fabric (Options.Tracer) the operation records a span on this rank's
+// track, as do Recv, Barrier, and Gather.
 func (e *Endpoint) Send(dst, tag int, data []float64) error {
+	tr := e.comm.opts.Tracer
+	start := tr.Begin()
+	err := e.send(dst, tag, data)
+	tr.End(telemetry.WorkerTrack(e.rank), "dist.send", start)
+	return err
+}
+
+func (e *Endpoint) send(dst, tag int, data []float64) error {
 	c := e.comm
 	if f := c.opts.Fault; f != nil {
 		op := int(c.sendOps[e.rank].Add(1) - 1)
@@ -262,6 +280,14 @@ func (e *Endpoint) Send(dst, tag int, data []float64) error {
 // run is cancelled it unblocks with the *AbortError instead of waiting on
 // a sender that will never come.
 func (e *Endpoint) Recv(src, tag int) ([]float64, error) {
+	tr := e.comm.opts.Tracer
+	start := tr.Begin()
+	data, err := e.recv(src, tag)
+	tr.End(telemetry.WorkerTrack(e.rank), "dist.recv", start)
+	return data, err
+}
+
+func (e *Endpoint) recv(src, tag int) ([]float64, error) {
 	c := e.comm
 	select {
 	case m := <-c.chans[src][e.rank]:
@@ -280,6 +306,14 @@ func (e *Endpoint) Recv(src, tag int) ([]float64, error) {
 // (nil, err) — never a partial [][]float64 with nil holes — and a peer's
 // abort propagates as the typed *AbortError.
 func (e *Endpoint) Gather(root, tag int, data []float64) ([][]float64, error) {
+	tr := e.comm.opts.Tracer
+	start := tr.Begin()
+	out, err := e.gather(root, tag, data)
+	tr.End(telemetry.WorkerTrack(e.rank), "dist.gather", start)
+	return out, err
+}
+
+func (e *Endpoint) gather(root, tag int, data []float64) ([][]float64, error) {
 	if e.rank != root {
 		if err := e.Send(root, tag, data); err != nil {
 			return nil, err
@@ -306,6 +340,14 @@ func (e *Endpoint) Gather(root, tag int, data []float64) ([][]float64, error) {
 // Barrier synchronizes all ranks (a root-coordinated two-phase barrier).
 // A cancelled run releases every waiting rank with the *AbortError.
 func (e *Endpoint) Barrier(tag int) error {
+	tr := e.comm.opts.Tracer
+	start := tr.Begin()
+	err := e.barrier(tag)
+	tr.End(telemetry.WorkerTrack(e.rank), "dist.barrier", start)
+	return err
+}
+
+func (e *Endpoint) barrier(tag int) error {
 	const root = 0
 	if e.rank == root {
 		for r := 1; r < e.comm.size; r++ {

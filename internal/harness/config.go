@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/par"
 	"repro/internal/sim/clover"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 	"repro/internal/viz/advect"
 	"repro/internal/viz/clip"
@@ -69,6 +71,18 @@ type Config struct {
 	// Progress, if non-nil, receives one line per completed run.
 	Progress func(string)
 
+	// Heartbeat, if non-nil, receives one "cell i/N (alg, size) ...
+	// done in Xs" line per executed sweep cell, so long campaigns are
+	// observable. Tests leave it nil (quiet); the CLI wires stderr.
+	Heartbeat io.Writer
+
+	// Tracer, if non-nil, records one span per executed sweep cell on
+	// the pipeline track and attributes each cell's stage timings into
+	// AlgoRun.Stages (the report's cell-cost section). Attach the same
+	// tracer to Pool via Instrument to see loop launches nested inside
+	// the cell spans.
+	Tracer *telemetry.Tracer
+
 	// MaxRetries bounds re-executions of a failed (algorithm, size) cell
 	// when the error is transient (dist.IsTransient). Default 2; set -1
 	// to disable retries.
@@ -82,9 +96,10 @@ type Config struct {
 	// tests use.
 	Inject func(name string, size int, attempt int) error
 
-	datasets map[int]*mesh.UniformGrid
-	runs     map[string]*AlgoRun
-	failures []CellError
+	datasets  map[int]*mesh.UniformGrid
+	runs      map[string]*AlgoRun
+	failures  []CellError
+	cellsDone int
 }
 
 // Defaults fills unset fields with the paper's configuration and returns
@@ -262,6 +277,13 @@ type AlgoRun struct {
 	// Base is the result at the first (default/TDP) cap.
 	Base  cpu.CapResult
 	ByCap []cpu.CapResult
+	// WallSec is the measured wall-clock time of the instrumented
+	// execution (dataset excluded) — what the cell actually cost this
+	// machine, as opposed to the modeled TimeSec under a cap.
+	WallSec float64
+	// Stages, when Config.Tracer is set, attributes the cell's wall
+	// clock across pipeline-track stages (self time per stage name).
+	Stages []telemetry.StageStat
 }
 
 // Run executes one algorithm at one size (cached) and models it under
@@ -289,14 +311,34 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 		c.log("retry %s at %d^3 after transient failure (attempt %d): %v", f.Name(), size, attempts, err)
 		time.Sleep(c.RetryBackoff << (attempts - 1))
 	}
+	c.cellsDone++
 	if err != nil {
 		c.failures = append(c.failures, CellError{Name: f.Name(), Size: size, Attempts: attempts, Err: err})
+		c.heartbeat("cell %d/%d (%s, %d^3) FAILED after %d attempt(s): %v",
+			c.cellsDone, c.totalCells(), f.Name(), size, attempts, err)
 		return nil, err
 	}
 	c.runs[key] = run
+	c.heartbeat("cell %d/%d (%s, %d^3, %d caps) done in %.2fs",
+		c.cellsDone, c.totalCells(), run.Name, size, len(c.Caps), run.WallSec)
 	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
 		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)
 	return run, nil
+}
+
+// totalCells is the executed-cell denominator of the heartbeat: one
+// cell per (algorithm, size) pair, each modeling every cap.
+func (c *Config) totalCells() int {
+	return len(c.Filters()) * len(c.Sizes)
+}
+
+// heartbeat writes one sweep progress line to the injectable Heartbeat
+// writer; quiet when none is configured.
+func (c *Config) heartbeat(format string, args ...any) {
+	if c.Heartbeat == nil {
+		return
+	}
+	fmt.Fprintf(c.Heartbeat, format+"\n", args...)
 }
 
 // runAttempt is one uncached execution of an (algorithm, size) cell.
@@ -306,12 +348,21 @@ func (c *Config) runAttempt(f viz.Filter, size, attempt int) (*AlgoRun, error) {
 			return nil, fmt.Errorf("harness: %s at %d^3: %w", f.Name(), size, err)
 		}
 	}
+	dsStart := c.Tracer.Begin()
 	g, err := c.Dataset(size)
+	c.Tracer.End(telemetry.PipelineTrack, "dataset", dsStart)
 	if err != nil {
 		return nil, err
 	}
 	ex := viz.NewExec(c.Pool)
+	// The cell span plus the wall clock attribute what this cell cost
+	// the machine; the span window is summarized into Stages below.
+	cellName := fmt.Sprintf("%s/%d^3", f.Name(), size)
+	t0 := time.Now()
+	cellStart := c.Tracer.Begin()
 	res, err := f.Run(g, ex)
+	c.Tracer.End(telemetry.PipelineTrack, cellName, cellStart)
+	wallSec := time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s at %d^3: %w", f.Name(), size, err)
 	}
@@ -321,6 +372,16 @@ func (c *Config) runAttempt(f viz.Filter, size, attempt int) (*AlgoRun, error) {
 		Elements: res.Elements,
 		Profile:  res.Profile,
 		Exec:     cpu.Analyze(c.Spec, res.Profile, 0),
+		WallSec:  wallSec,
+	}
+	if c.Tracer != nil {
+		var cell []telemetry.Span
+		for _, s := range telemetry.Window(c.Tracer.Spans(), cellStart, c.Tracer.Now()) {
+			if s.Track == telemetry.PipelineTrack {
+				cell = append(cell, s)
+			}
+		}
+		run.Stages = telemetry.Summarize(cell)
 	}
 	run.ByCap = make([]cpu.CapResult, len(c.Caps))
 	for i, capW := range c.Caps {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/metrics"
@@ -105,7 +106,64 @@ func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Clai
 		fmt.Fprintf(&b, "| %s | %.1f | %.2f | %.3f | %s | %.2fX | %.2fx |\n",
 			r.Name, d.PowerWatts, d.IPC, d.LLCMissRate, slowStr, tr.Tratio, eRatio)
 	}
+	c.writeCellCost(&b)
 	b.WriteString("\nSee EXPERIMENTS.md for the paper-versus-measured discussion.\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeCellCost appends the measured-cost attribution section: what
+// each executed sweep cell actually cost this machine in wall-clock
+// seconds (as opposed to the modeled time under a cap), with per-stage
+// self-time attribution when the campaign ran under a tracer.
+func (c *Config) writeCellCost(b *strings.Builder) {
+	cells := make([]*AlgoRun, 0, len(c.runs))
+	var total float64
+	for _, r := range c.runs {
+		if r.WallSec > 0 {
+			cells = append(cells, r)
+			total += r.WallSec
+		}
+	}
+	if len(cells) == 0 {
+		return
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].WallSec != cells[j].WallSec {
+			return cells[i].WallSec > cells[j].WallSec
+		}
+		if cells[i].Name != cells[j].Name {
+			return cells[i].Name < cells[j].Name
+		}
+		return cells[i].Size < cells[j].Size
+	})
+	b.WriteString("\n## Measured cell cost\n\n")
+	fmt.Fprintf(b, "Wall-clock cost of the %d executed (algorithm, size) cells, %.2f s\n", len(cells), total)
+	b.WriteString("total, most expensive first. Each cell's instrumented run models every\ncap, so this is the real price of the sweep on this machine.\n\n")
+	withStages := false
+	for _, r := range cells {
+		if len(r.Stages) > 0 {
+			withStages = true
+			break
+		}
+	}
+	if withStages {
+		b.WriteString("| cell | wall (s) | % of sweep | top stages (self time) |\n|---|---|---|---|\n")
+	} else {
+		b.WriteString("| cell | wall (s) | % of sweep |\n|---|---|---|\n")
+	}
+	for _, r := range cells {
+		fmt.Fprintf(b, "| %s %d^3 | %.3f | %.1f%% |", r.Name, r.Size, r.WallSec, 100*r.WallSec/total)
+		if withStages {
+			var parts []string
+			for i, st := range r.Stages {
+				if i == 3 {
+					break
+				}
+				parts = append(parts, fmt.Sprintf("%s %.1fms", st.Name, float64(st.SelfNs)/1e6))
+			}
+			fmt.Fprintf(b, " %s |", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+	}
 }

@@ -30,6 +30,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Pool is a fixed set of persistent workers that execute parallel loops.
@@ -39,6 +42,10 @@ type Pool struct {
 	workers int
 	once    sync.Once
 	state   *poolState
+
+	// instr is the optional telemetry attachment (see Instrument). nil
+	// means uninstrumented: the dispatch path pays one atomic load.
+	instr atomic.Pointer[instrumentation]
 
 	scratchMu sync.Mutex
 	scratch   map[any][]any
@@ -153,6 +160,10 @@ type poolState struct {
 	wake   chan struct{}
 	quit   chan struct{}
 	closed atomic.Bool
+
+	// instr mirrors Pool.instr so parked workers can track idle time
+	// without referencing (and pinning) the Pool itself.
+	instr atomic.Pointer[instrumentation]
 }
 
 // ensure starts the worker goroutines on first use.
@@ -163,7 +174,7 @@ func (p *Pool) ensure() *poolState {
 			quit: make(chan struct{}),
 		}
 		for w := 0; w < p.workers; w++ {
-			go s.worker()
+			go s.worker(w)
 		}
 		p.state = s
 		runtime.SetFinalizer(p, func(pp *Pool) { pp.state.shutdown() })
@@ -199,11 +210,20 @@ func (s *poolState) tryWake() {
 }
 
 // worker is the body of one persistent worker goroutine: park on the wake
-// channel, then service queued loops until none have work left.
-func (s *poolState) worker() {
+// channel, then service queued loops until none have work left. With
+// instrumentation attached, the time spent parked is accumulated as the
+// worker's idle nanoseconds.
+func (s *poolState) worker(w int) {
 	for {
+		var parked time.Time
+		if s.instr.Load() != nil {
+			parked = time.Now()
+		}
 		select {
 		case <-s.wake:
+			if in := s.instr.Load(); in != nil && !parked.IsZero() && w < len(in.workers) {
+				in.workers[w].idleNs.Add(int64(time.Since(parked)))
+			}
 		case <-s.quit:
 			return
 		}
@@ -293,6 +313,9 @@ type loopTask struct {
 	panicVal  atomic.Pointer[WorkerPanic]
 	aborted   atomic.Bool
 	done      chan struct{}
+	// in is the instrumentation captured at dispatch; nil on the
+	// uninstrumented fast path.
+	in *instrumentation
 }
 
 func (t *loopTask) hasWork() bool {
@@ -311,8 +334,13 @@ func (t *loopTask) hasWork() bool {
 // participant runs out of work, so the shared completion counter is
 // touched once per participant, not once per chunk.
 func (t *loopTask) run(w int) {
+	in := t.in
+	var spanStart int64
+	if in != nil && in.tracer != nil {
+		spanStart = in.tracer.Begin()
+	}
 	own := w % len(t.spans)
-	var iters int64
+	var iters, stolen int64
 	for {
 		c, ok := t.spans[own].takeFront()
 		if !ok {
@@ -327,7 +355,16 @@ func (t *loopTask) run(w int) {
 			if !ok {
 				break
 			}
+			stolen++
 			iters += t.exec(c, w)
+		}
+	}
+	if in != nil {
+		if stolen != 0 {
+			in.workers[w].stolen.Add(stolen)
+		}
+		if in.tracer != nil {
+			in.tracer.End(telemetry.WorkerTrack(w), "par.chunks", spanStart)
 		}
 	}
 	if iters != 0 && t.remaining.Add(-iters) == 0 {
@@ -343,7 +380,11 @@ func (t *loopTask) exec(c, w int) int64 {
 		hi = t.n
 	}
 	if !t.aborted.Load() {
-		t.call(lo, hi, w)
+		if t.in != nil {
+			t.timedCall(lo, hi, w)
+		} else {
+			t.call(lo, hi, w)
+		}
 	}
 	return int64(hi - lo)
 }
@@ -376,23 +417,56 @@ func (p *Pool) For(n, grain int, body func(lo, hi, worker int)) {
 	if n <= 0 {
 		return
 	}
+	in := p.instr.Load()
+	if in == nil {
+		p.forLoop(n, grain, body, nil)
+		return
+	}
+	in.launches.Add(1)
+	start := in.tracer.Begin()
+	p.forLoop(n, grain, body, in)
+	// The launch span lands on the pipeline track: For blocks its caller,
+	// so on the instrumented in situ path the span nests inside the
+	// enclosing stage span recorded by the same goroutine.
+	in.tracer.End(telemetry.PipelineTrack, "par.For", start)
+}
+
+// forLoop is the loop engine behind For; in is non-nil only on
+// instrumented pools.
+func (p *Pool) forLoop(n, grain int, body func(lo, hi, worker int), in *instrumentation) {
 	if grain <= 0 {
 		grain = GrainFor(n, p.workers)
 	}
 	if n <= grain {
-		body(0, n, 0)
+		// The caller executes as participant 0, so the chunk span lands on
+		// worker track 0 — the same attribution the counters use.
+		var start int64
+		if in != nil {
+			start = in.tracer.Begin()
+		}
+		execSerial(0, n, body, in)
+		if in != nil {
+			in.tracer.End(telemetry.WorkerTrack(0), "par.chunks", start)
+		}
 		return
 	}
 	if p.workers == 1 {
 		// Serial pools execute the same chunk sequence a parallel pool
 		// would, so chunk-boundary-sensitive kernels (segment-scoped point
 		// dedup) produce identical output at every worker count.
+		var start int64
+		if in != nil {
+			start = in.tracer.Begin()
+		}
 		for lo := 0; lo < n; lo += grain {
 			hi := lo + grain
 			if hi > n {
 				hi = n
 			}
-			body(lo, hi, 0)
+			execSerial(lo, hi, body, in)
+		}
+		if in != nil {
+			in.tracer.End(telemetry.WorkerTrack(0), "par.chunks", start)
 		}
 		return
 	}
@@ -402,7 +476,7 @@ func (p *Pool) For(n, grain int, body func(lo, hi, worker int)) {
 		chunks = (n + grain - 1) / grain
 	}
 	s := p.ensure()
-	t := &loopTask{s: s, body: body, n: n, grain: grain, done: make(chan struct{})}
+	t := &loopTask{s: s, body: body, n: n, grain: grain, done: make(chan struct{}), in: in}
 	t.remaining.Store(int64(n))
 	ns := p.workers
 	if chunks < ns {
