@@ -13,6 +13,10 @@
 #                  BENCH_PR4.json (fused-sampler SoA integrator vs the
 #                  reference, fixed + adaptive, 32^3/64^3/128^3, plus
 #                  the scratch-leased clover sweep), with -benchmem
+#   make bench-advect-dist - the distributed parallelize-over-data
+#                  advection benchmarks recorded in BENCH_PR6.json
+#                  (reference/fast single-rank oracles vs dist.Advect at
+#                  1/2/4/8 ranks on a migration-heavy field), -benchmem
 #   make profile - run the vizpower profile subcommand at demonstration
 #                  scale into out/profile (trace.json + summary.txt),
 #                  validating the exported JSON
@@ -26,7 +30,7 @@ GO ?= go
 # Packages whose tests exercise multi-worker pools and shared buffers.
 RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry
 
-.PHONY: check vet build test race bench bench-render bench-advect profile
+.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist profile
 
 check: vet build test race
 
@@ -41,8 +45,8 @@ test: vet
 
 race:
 	$(GO) test -race -count=1 -timeout 120s $(RACE_PKGS)
-	$(GO) test -race -count=1 -timeout 120s ./internal/viz/advect -run 'Compact|Golden'
-	$(GO) test -race -count=1 -timeout 120s ./internal/harness -run 'Failure|Retry|Partial'
+	$(GO) test -race -count=1 -timeout 120s ./internal/viz/advect -run 'Compact|Golden|Seed'
+	$(GO) test -race -count=1 -timeout 120s ./internal/harness -run 'Failure|Retry|Partial|Advect'
 
 bench:
 	$(GO) test -timeout 120s ./internal/par -run xxx -bench 'ParFor|ReduceSum' -benchtime=2s
@@ -57,6 +61,11 @@ bench-render:
 bench-advect:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkAdvectPaths|BenchmarkCloverSweep' \
+		-benchtime 3x
+
+bench-advect-dist:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkAdvectDist' \
 		-benchtime 3x
 
 # Run the telemetry subcommand at demonstration scale and confirm the

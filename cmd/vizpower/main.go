@@ -19,6 +19,9 @@
 //	fig4      IPC vs. cap by size — slice (Figure 4)
 //	fig5      IPC vs. cap by size — volume rendering (Figure 5)
 //	fig6      IPC vs. cap by size — particle advection (Figure 6)
+//	advect    distributed parallelize-over-data particle advection:
+//	          sweep -ranks fabric sizes, check bit-identity against the
+//	          single-rank run, and report the migration breakdown
 //	classify  demand power / IPC / miss rate / class per algorithm
 //	trace     in situ power timeline under a cap (simulate+visualize)
 //	profile   execution telemetry: run in situ cycles under a cap and
@@ -47,13 +50,16 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/mesh"
 	"repro/internal/msr"
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
 	"repro/internal/sim/clover"
 	"repro/internal/telemetry"
 	"repro/internal/viz"
+	"repro/internal/viz/advect"
 	"repro/internal/viz/raytrace"
 	"repro/internal/viz/volren"
 	"repro/internal/vtkio"
@@ -76,6 +82,8 @@ type options struct {
 	figSize    int
 	alg        string
 	extended   bool
+	adaptive   bool
+	distRanks  int
 	traceFile  string
 	cpuprofile string
 }
@@ -100,6 +108,8 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		figRes    = fs.Int("figres", 256, "figure-1 rendering resolution")
 		alg       = fs.String("alg", "Contour", "algorithm name (arch)")
 		extended  = fs.Bool("extended", false, "include the extension filters (classify)")
+		ranks     = fs.String("ranks", "", "comma-separated fabric sizes for distributed advection (advect, profile; default 1,2,4,8)")
+		adaptive  = fs.Bool("adaptive", false, "advect with the adaptive BS23 integrator instead of fixed-step RK4 (advect)")
 		traceF    = fs.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (load in Perfetto)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of this run to FILE")
 	)
@@ -145,6 +155,22 @@ func parseFlags(cmd string, args []string) (*options, error) {
 	if *iso > 0 {
 		cfg.Isovalues = *iso
 	}
+	// distRanks marks an explicit -ranks request: profile then also runs
+	// a distributed advection pass under the tracer at the largest size.
+	distRanks := 0
+	if *ranks != "" {
+		cfg.Ranks = nil
+		for _, s := range strings.Split(*ranks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -ranks entry %q", s)
+			}
+			cfg.Ranks = append(cfg.Ranks, n)
+			if n > distRanks {
+				distRanks = n
+			}
+		}
+	}
 	if *progress {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  [progress]", line) }
 	}
@@ -156,7 +182,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 	return &options{
 		cfg: cfg, csv: *csv, out: *out,
 		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
-		alg: *alg, extended: *extended,
+		alg: *alg, extended: *extended, adaptive: *adaptive, distRanks: distRanks,
 		traceFile: *traceF, cpuprofile: *cpuprof,
 	}, nil
 }
@@ -304,6 +330,8 @@ func run(args []string) (retErr error) {
 		return overprovisionCmd(c, opt)
 	case "feedback":
 		return feedbackCmd(c, opt)
+	case "advect":
+		return advectCmd(c, opt)
 	case "trace":
 		return traceCmd(c, opt)
 	case "profile":
@@ -451,6 +479,144 @@ func feedbackCmd(c *harness.Config, opt *options) error {
 	return nil
 }
 
+// advectCmd sweeps the distributed parallelize-over-data particle
+// advection over the configured fabric sizes at the phase size, checks
+// every gathered streamline set against the single-rank run bit for
+// bit, and prints the Wang et al. (arXiv 2410.09710) migration
+// breakdown. The fixed-step sweep goes through the cached harness cells
+// (the same ones report.md renders); -adaptive exercises the BS23
+// integrator directly, since the study cells are fixed-step like the
+// paper's.
+func advectCmd(c *harness.Config, opt *options) error {
+	size := c.PhaseSize
+	mode := "fixed-step RK4"
+	var runs []*harness.AdvectDistRun
+	var err error
+	if opt.adaptive {
+		mode = "adaptive BS23"
+		runs, err = advectAdaptiveRuns(c, size)
+	} else {
+		runs, err = c.AdvectScaling(size)
+	}
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("advect: no rank count in %v fits the %d z-layers of %d^3", c.Ranks, size, size)
+	}
+	fmt.Printf("distributed particle advection (parallelize-over-data) at %d^3\n", size)
+	fmt.Printf("%d particles x %d steps, %s; oracle = single-rank shared-memory run\n", c.Particles, c.ParticleSteps, mode)
+	fmt.Printf("oracle: %d particle steps in %.3fs\n\n", runs[0].ParticleSteps, runs[0].OracleWallSec)
+	fmt.Printf("%-6s %-7s %-6s %-9s %-9s %-13s %-9s %-9s %-9s %s\n",
+		"ranks", "rounds", "ghost", "wall(s)", "vs1rank", "participation", "migrated", "pingpong", "idle(ms)", "identical")
+	for _, r := range runs {
+		ident := "yes"
+		if !r.Identical {
+			ident = "NO"
+		}
+		fmt.Printf("%-6d %-7d %-6d %-9.3f %-9s %-13.2f %-9d %-9d %-9.1f %s\n",
+			r.Ranks, r.Rounds, r.Ghost, r.WallSec,
+			fmt.Sprintf("%.2fx", r.OracleWallSec/r.WallSec),
+			r.Participation, r.Migrated, r.PingPong, float64(r.IdleNs)/1e6, ident)
+	}
+	if last := runs[len(runs)-1]; last.Ranks > 1 {
+		fmt.Printf("\nper-rank breakdown at ranks=%d:\n", last.Ranks)
+		fmt.Printf("%-5s %-8s %-10s %-8s %-8s %-8s %-9s %s\n",
+			"rank", "seeded", "steps", "retired", "out", "in", "pingpong", "idle(ms)")
+		for _, s := range last.Stats {
+			fmt.Printf("%-5d %-8d %-10d %-8d %-8d %-8d %-9d %.1f\n",
+				s.Rank, s.Seeded, s.Steps, s.Retired, s.MigratedOut, s.MigratedIn, s.PingPong, float64(s.IdleNs)/1e6)
+		}
+	}
+	for _, r := range runs {
+		if !r.Identical {
+			return fmt.Errorf("advect: ranks=%d streamlines differ from the single-rank run", r.Ranks)
+		}
+	}
+	return nil
+}
+
+// advectAdaptiveRuns is the -adaptive variant of the rank sweep: it
+// bypasses the harness cell cache (which holds the paper's fixed-step
+// configuration) and compares dist.Advect in BS23 mode against the
+// matching single-rank run.
+func advectAdaptiveRuns(c *harness.Config, size int) ([]*harness.AdvectDistRun, error) {
+	g, err := c.Dataset(size)
+	if err != nil {
+		return nil, err
+	}
+	f := advect.New(advect.Options{
+		Vector:       "velocity",
+		NumParticles: c.Particles,
+		NumSteps:     c.ParticleSteps,
+		Adaptive:     true,
+	})
+	t0 := time.Now()
+	res, err := f.Run(g, viz.NewExec(c.Pool))
+	if err != nil {
+		return nil, err
+	}
+	oracleWall := time.Since(t0).Seconds()
+	var out []*harness.AdvectDistRun
+	for _, rk := range c.Ranks {
+		if rk < 1 || rk > size {
+			continue
+		}
+		t1 := time.Now()
+		dres, err := dist.Advect(g, f, rk, dist.AdvectOptions{
+			Fabric:   dist.Options{Tracer: c.Tracer},
+			Deadline: 5 * time.Minute,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("advect: ranks=%d: %w", rk, err)
+		}
+		run := &harness.AdvectDistRun{
+			Size: size, Ranks: rk,
+			Rounds: dres.Rounds, Ghost: dres.Ghost,
+			WallSec: time.Since(t1).Seconds(), OracleWallSec: oracleWall,
+			ParticleSteps: dres.Lines.TotalPoints(),
+			Identical:     linesMatch(res.Lines, dres.Lines),
+			Stats:         dres.Stats,
+		}
+		var total, max uint64
+		for _, s := range dres.Stats {
+			total += s.Steps
+			if s.Steps > max {
+				max = s.Steps
+			}
+			run.Migrated += s.MigratedOut
+			run.PingPong += s.PingPong
+			run.IdleNs += s.IdleNs
+		}
+		if max > 0 {
+			run.Participation = float64(total) / (float64(rk) * float64(max))
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// linesMatch reports bit-exact equality of two streamline sets.
+func linesMatch(a, b *mesh.LineSet) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Points) != len(b.Points) || len(a.Scalars) != len(b.Scalars) || len(a.Offsets) != len(b.Offsets) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] || a.Scalars[i] != b.Scalars[i] {
+			return false
+		}
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // traceCmd runs the in situ pipeline under a cap and prints the sampled
 // power timeline.
 func traceCmd(c *harness.Config, opt *options) error {
@@ -507,7 +673,14 @@ func profileCmd(c *harness.Config, opt *options) error {
 	}
 	tr := c.Tracer // reuse the -trace tracer if one is already attached
 	if tr == nil {
-		tr = telemetry.New(c.Pool.Workers())
+		// With -ranks the distributed advection pass below puts its
+		// advance/exchange spans on WorkerTrack(rank), so the tracer
+		// needs tracks for whichever of (workers, ranks) is larger.
+		tracks := c.Pool.Workers()
+		if opt.distRanks > tracks {
+			tracks = opt.distRanks
+		}
+		tr = telemetry.New(tracks)
 		c.Pool.Instrument(tr)
 	}
 	pipe.Tracer = tr
@@ -521,6 +694,31 @@ func profileCmd(c *harness.Config, opt *options) error {
 		return err
 	}
 	wall := time.Since(t0)
+
+	// An explicit -ranks also profiles a distributed advection pass on
+	// the rank fabric, so the trace carries per-rank advance/exchange
+	// spans next to the pipeline stages.
+	if r := opt.distRanks; r > 1 {
+		g, err := c.Dataset(c.PhaseSize)
+		if err != nil {
+			return err
+		}
+		f := advect.New(advect.Options{
+			Vector:       "velocity",
+			NumParticles: c.Particles,
+			NumSteps:     c.ParticleSteps,
+		})
+		t1 := time.Now()
+		dres, err := dist.Advect(g, f, r, dist.AdvectOptions{
+			Fabric:   dist.Options{Tracer: tr},
+			Deadline: 5 * time.Minute,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profiled distributed advection on %d ranks: %d rounds, ghost %d, %.3fs\n",
+			r, dres.Rounds, dres.Ghost, time.Since(t1).Seconds())
+	}
 
 	if err := os.MkdirAll(opt.out, 0o755); err != nil {
 		return err
@@ -705,6 +903,11 @@ func allCmd(c *harness.Config, opt *options) error {
 	for _, p := range paths {
 		fmt.Println("wrote", p)
 	}
+	// The distributed-advection rank sweep feeds its own report section;
+	// a wedged fabric degrades like any other phase.
+	if _, err := c.AdvectScaling(c.PhaseSize); err != nil {
+		skip("advect scaling", err)
+	}
 	// The self-contained campaign report: tables, classification, and
 	// executable claim checks in one document. The claims need the full
 	// Phase 2 set, so a degraded sweep skips them rather than aborting.
@@ -799,7 +1002,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: vizpower <command> [flags]
 commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           classify [-extended] arch [-alg NAME] export trace allocate
-          profile [-cap W -cycles N -out DIR]
+          advect [-ranks LIST -adaptive] profile [-cap W -cycles N -out DIR -ranks LIST]
           overprovision [-alg NAME -budget W] feedback [-cap W] all
 run "vizpower <command> -h" for flags; add -quick for a fast demonstration
 global: -trace FILE writes a Perfetto-loadable execution trace of any

@@ -25,6 +25,29 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"cinema", "-quick", "-alg", "Contour"}); err == nil {
 		t.Error("cinema with a non-rendering algorithm accepted")
 	}
+	if err := run([]string{"advect", "-quick", "-ranks", "2,zero"}); err == nil {
+		t.Error("bad -ranks accepted")
+	}
+	if err := run([]string{"advect", "-quick", "-ranks", "0"}); err == nil {
+		t.Error("-ranks 0 accepted")
+	}
+}
+
+// TestRunAdvectCommand: the distributed advection sweep runs at
+// demonstration scale in both integrator modes without a mismatch (a
+// non-identical cell is a command error).
+func TestRunAdvectCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	for _, args := range [][]string{
+		{"advect", "-quick", "-ranks", "1,2,4", "-particles", "64", "-steps", "80"},
+		{"advect", "-quick", "-ranks", "2", "-adaptive", "-particles", "64", "-steps", "80"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
 }
 
 func TestRunQuickCommands(t *testing.T) {

@@ -1,0 +1,760 @@
+package dist
+
+// Distributed parallelize-over-data particle advection on the rank
+// fabric: the grid is block-decomposed into z-slabs with a ghost halo
+// sized from the field's peak z-velocity, each rank advects its
+// resident particles with the same fused-sampler SoA loop as
+// advect.Run (the shared RK4/BS23 kernels over a
+// mesh.BlockVectorSampler whose arithmetic is bit-identical to the
+// whole-grid sampler), and particles whose cell layer leaves the
+// owned range migrate to the owning rank in batched, length-prefixed
+// SoA messages. Rank-local streamline segments carry (pid, seq) like
+// the shared-memory arenas, so the final gather assembles a LineSet
+// bit-identical to single-rank advect.Run regardless of rank count or
+// migration interleaving. See DESIGN.md §11.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/telemetry"
+	"repro/internal/viz/advect"
+)
+
+// Round-indexed tag bases keep every migration batch and termination
+// count bound to its BSP round: a dropped message surfaces as a tag
+// mismatch or a watchdog abort, never as silent misdelivery.
+const (
+	advectTagMigrate = 1 << 20
+	advectTagCount   = 2 << 20
+	advectTagTotal   = 3 << 20
+	advectTagSegs    = 4 << 20
+)
+
+// advectBurstSteps bounds one rank's per-round advance per particle,
+// mirroring the shared-memory path's round length. Trajectories are a
+// pure function of the migrating particle state, so burst boundaries
+// (and therefore round counts) never affect the output bits.
+const advectBurstSteps = 256
+
+// advectWireFields is the per-particle field count of a migration
+// message: px, py, pz, cell, pid, seq, steps, h, arc, prev.
+const advectWireFields = 10
+
+// AdvectOptions configures a distributed advection run.
+type AdvectOptions struct {
+	// Fabric tunes the rank fabric (buffering, send timeouts, fault
+	// injection, tracing). BufferCap must be >= 0: the per-round
+	// all-to-all migration exchange sends before receiving, which a
+	// rendezvous fabric cannot complete.
+	Fabric Options
+	// MaxRounds bounds the BSP round count as a liveness backstop.
+	// Zero derives NumSteps+8: every active particle accepts at least
+	// one step per round (the adaptive hMin clamp guarantees
+	// acceptance), so a clean run terminates well inside the bound.
+	MaxRounds int
+	// Deadline, when positive, arms a watchdog that cancels the fabric
+	// after the given wall time, converting any stall — e.g. a dropped
+	// migration message leaving a peer blocked — into a typed
+	// *AbortError instead of a hang.
+	Deadline time.Duration
+	// Seeds overrides the filter's deterministic seed stream (tests
+	// inject crafted and out-of-domain seeds through this).
+	Seeds []mesh.Vec3
+}
+
+// AdvectRankStats is one rank's counters from a distributed advection
+// run: the participation/ping-pong/overhead breakdown of the
+// parallelize-over-data cost model.
+type AdvectRankStats struct {
+	Rank int
+	// Seeded is the number of live particles initially owned.
+	Seeded int
+	// Steps is the number of accepted integration steps executed here.
+	Steps uint64
+	// Retired is the number of particles that terminated on this rank.
+	Retired int
+	// MigratedOut and MigratedIn count particles crossing block
+	// boundaries in each direction.
+	MigratedOut int
+	MigratedIn  int
+	// PingPong counts emigrants sent back to the rank they most
+	// recently arrived from — the oscillation overhead of
+	// parallelize-over-data advection.
+	PingPong int
+	// IdleNs is wall time blocked waiting on migration receives and
+	// the termination collective.
+	IdleNs int64
+}
+
+// AdvectResult is the output of a distributed advection run.
+type AdvectResult struct {
+	// Lines is the gathered streamline set, bit-identical to
+	// single-rank advect.Run on the same grid and options.
+	Lines *mesh.LineSet
+	// Stats holds one entry per rank.
+	Stats []AdvectRankStats
+	// Rounds is the BSP round count to global termination.
+	Rounds int
+	// Ghost is the halo width (cell layers) each block carried.
+	Ghost int
+	// Profile is the merged per-rank operation profile.
+	Profile ops.Profile
+}
+
+// rankSeg is one (particle, burst) streamline segment in a rank's
+// arena: the distributed analogue of the shared-memory path's
+// per-worker segment records.
+type rankSeg struct {
+	pid, seq int32
+	off, n   int32
+}
+
+// advectRankState is one rank's working state: SoA resident particle
+// arrays, the streamline arena, and operation counters. Batched
+// reuse keeps the steady-state loop free of per-particle allocation.
+type advectRankState struct {
+	px, py, pz []float64
+	cell       []int32 // last crossed cell id (fixed-step), -1 initially
+	pid, seq   []int32
+	steps      []int32 // accepted integration steps so far
+	h, arc     []float64
+	prev       []int32 // rank last migrated from, -1 initially
+	mig        []int32 // migration destination this round, -1 resident
+	dead       []bool
+	n          int
+
+	pts  []mesh.Vec3
+	spd  []float64
+	segs []rankSeg
+
+	samples, crossings, stepsTaken, rejects uint64
+}
+
+func (st *advectRankState) add(px, py, pz float64, cell, pid, seq, steps int32, h, arc float64, prev int32) {
+	st.px = append(st.px[:st.n], px)
+	st.py = append(st.py[:st.n], py)
+	st.pz = append(st.pz[:st.n], pz)
+	st.cell = append(st.cell[:st.n], cell)
+	st.pid = append(st.pid[:st.n], pid)
+	st.seq = append(st.seq[:st.n], seq)
+	st.steps = append(st.steps[:st.n], steps)
+	st.h = append(st.h[:st.n], h)
+	st.arc = append(st.arc[:st.n], arc)
+	st.prev = append(st.prev[:st.n], prev)
+	st.mig = append(st.mig[:st.n], -1)
+	st.dead = append(st.dead[:st.n], false)
+	st.n++
+}
+
+// encodeInto appends the emigrants idx as one length-prefixed SoA
+// message into buf (reused across rounds): [count, px×c, py×c, pz×c,
+// cell×c, pid×c, seq×c, steps×c, h×c, arc×c, prev×c]. Integer fields
+// ride in float64 exactly (cell ids and counters stay far below 2^53).
+func (st *advectRankState) encodeInto(buf []float64, idx []int, rank int32) []float64 {
+	buf = append(buf[:0], float64(len(idx)))
+	for _, i := range idx {
+		buf = append(buf, st.px[i])
+	}
+	for _, i := range idx {
+		buf = append(buf, st.py[i])
+	}
+	for _, i := range idx {
+		buf = append(buf, st.pz[i])
+	}
+	for _, i := range idx {
+		buf = append(buf, float64(st.cell[i]))
+	}
+	for _, i := range idx {
+		buf = append(buf, float64(st.pid[i]))
+	}
+	for _, i := range idx {
+		buf = append(buf, float64(st.seq[i]))
+	}
+	for _, i := range idx {
+		buf = append(buf, float64(st.steps[i]))
+	}
+	for _, i := range idx {
+		buf = append(buf, st.h[i])
+	}
+	for _, i := range idx {
+		buf = append(buf, st.arc[i])
+	}
+	for range idx {
+		buf = append(buf, float64(rank))
+	}
+	return buf
+}
+
+// ingest decodes one migration batch into the resident arrays.
+func (st *advectRankState) ingest(data []float64, src int) (int, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("dist: advect migration batch from rank %d is empty", src)
+	}
+	c := int(data[0])
+	if len(data) != 1+advectWireFields*c {
+		return 0, fmt.Errorf("dist: advect migration batch from rank %d has %d floats, want %d for %d particles",
+			src, len(data), 1+advectWireFields*c, c)
+	}
+	sec := func(k int) []float64 { return data[1+k*c : 1+(k+1)*c] }
+	px, py, pz := sec(0), sec(1), sec(2)
+	cell, pid, seq, steps := sec(3), sec(4), sec(5), sec(6)
+	h, arc, prev := sec(7), sec(8), sec(9)
+	for j := 0; j < c; j++ {
+		st.add(px[j], py[j], pz[j], int32(cell[j]), int32(pid[j]), int32(seq[j]),
+			int32(steps[j]), h[j], arc[j], int32(prev[j]))
+	}
+	return c, nil
+}
+
+// advectShared is the read-mostly state every rank body closes over,
+// plus the per-rank output slots (each goroutine writes only its own
+// index; the root alone writes lines/rounds).
+type advectShared struct {
+	g       *mesh.UniformGrid
+	fo      advect.Options
+	blocks  []mesh.Block
+	owners  []int32
+	starts  []mesh.Vec3
+	perRank [][]int
+	// deadSeeds is the out-of-domain seed count; adaptive mode charges
+	// one crossing per dead seed on rank 0, as the oracle's arc-length
+	// estimate does.
+	deadSeeds int
+	ghost     int
+	maxRounds int
+	tracer    *telemetry.Tracer
+
+	stats []AdvectRankStats
+	recs  []ops.Recorder
+
+	lines  *mesh.LineSet
+	rounds int
+}
+
+// Advect runs the particle-advection filter parallelized over data on
+// nRanks fabric ranks and gathers a LineSet bit-identical to
+// single-rank f.Run(g, ...) — same points, speeds, and offsets for
+// both fixed-step RK4 and adaptive BS23 modes, at any rank count and
+// under any migration interleaving (including fault-injected delays).
+func Advect(g *mesh.UniformGrid, f *advect.Filter, nRanks int, opts AdvectOptions) (*AdvectResult, error) {
+	fo := f.Options()
+	field := g.PointVector(fo.Vector)
+	if field == nil {
+		return nil, fmt.Errorf("dist: grid has no point vector field %q", fo.Vector)
+	}
+	cd := g.CellDims()
+	if nRanks < 1 || nRanks > cd[2] {
+		return nil, fmt.Errorf("dist: cannot advect on %d ranks over %d cell layers", nRanks, cd[2])
+	}
+	if opts.Fabric.BufferCap < 0 {
+		return nil, fmt.Errorf("dist: advect needs a buffered fabric (BufferCap >= 0): the all-to-all migration exchange sends before receiving")
+	}
+
+	// Ghost halo sized so every integration-stage probe of a particle
+	// standing in an owned layer resolves locally: probes reach at most
+	// max|v_z|·h past the position (step coefficients sum to one), with
+	// the adaptive controller's hMax as the worst-case step.
+	vzMax := 0.0
+	for _, v := range field {
+		if a := math.Abs(v[2]); a > vzMax {
+			vzMax = a
+		}
+	}
+	hEff := fo.StepLength
+	if fo.Adaptive {
+		_, hEff = advect.AdaptiveStepBounds(fo.StepLength)
+	}
+	ghost := int(vzMax*hEff/g.Spacing[2]) + 2
+
+	blocks, err := mesh.BlockDecompose(g, nRanks, ghost)
+	if err != nil {
+		return nil, err
+	}
+	owners := make([]int32, cd[2])
+	for r := range blocks {
+		for k := blocks[r].K0; k < blocks[r].K1; k++ {
+			owners[k] = int32(r)
+		}
+	}
+
+	starts := opts.Seeds
+	if starts == nil {
+		starts = advect.SeedPoints(g.Bounds(), fo.NumParticles)
+	}
+	// The same out-of-domain predicate as Run and RunReference; live
+	// seeds are assigned to the rank owning their cell layer by the
+	// samplers' exact index arithmetic.
+	deadSeed := advect.RejectSeeds(g, starts, nil)
+	gs, err := mesh.NewVectorSampler(g, fo.Vector)
+	if err != nil {
+		return nil, err
+	}
+	perRank := make([][]int, nRanks)
+	deadSeeds := 0
+	for i := range starts {
+		if deadSeed[i] {
+			deadSeeds++
+			continue
+		}
+		layer, ok := gs.CellLayer(starts[i])
+		if !ok {
+			deadSeeds++
+			continue
+		}
+		r := owners[layer]
+		perRank[r] = append(perRank[r], i)
+	}
+
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = fo.NumSteps + 8
+	}
+
+	comm, err := NewCommWith(nRanks, opts.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Deadline > 0 {
+		watchdog := time.AfterFunc(opts.Deadline, func() {
+			comm.Cancel(fmt.Errorf("advect deadline %v exceeded", opts.Deadline))
+		})
+		defer watchdog.Stop()
+	}
+
+	sh := &advectShared{
+		g: g, fo: fo, blocks: blocks, owners: owners, starts: starts,
+		perRank: perRank, deadSeeds: deadSeeds, ghost: ghost,
+		maxRounds: maxRounds, tracer: opts.Fabric.Tracer,
+		stats: make([]AdvectRankStats, nRanks),
+		recs:  make([]ops.Recorder, nRanks),
+	}
+	for r := 0; r < nRanks; r++ {
+		sh.tracer.SetTrackName(telemetry.WorkerTrack(r), fmt.Sprintf("rank %d", r))
+	}
+
+	if err := comm.Run(sh.rankBody); err != nil {
+		return nil, err
+	}
+	return &AdvectResult{
+		Lines:   sh.lines,
+		Stats:   sh.stats,
+		Rounds:  sh.rounds,
+		Ghost:   sh.ghost,
+		Profile: ops.Merge(sh.recs),
+	}, nil
+}
+
+// rankBody is one rank's advection loop: BSP rounds of
+// advance-burst / all-to-all migration exchange / termination count,
+// then the final (pid, seq) segment gather on the root.
+func (sh *advectShared) rankBody(ep *Endpoint) error {
+	rank, size := ep.Rank(), ep.Size()
+	rank32 := int32(rank)
+	track := telemetry.WorkerTrack(rank)
+	stats := &sh.stats[rank]
+	stats.Rank = rank
+
+	s, err := mesh.NewBlockVectorSampler(sh.blocks[rank], sh.fo.Vector)
+	if err != nil {
+		return err
+	}
+
+	nP := len(sh.starts)
+	st := &advectRankState{
+		px: make([]float64, 0, nP), py: make([]float64, 0, nP), pz: make([]float64, 0, nP),
+		cell: make([]int32, 0, nP), pid: make([]int32, 0, nP), seq: make([]int32, 0, nP),
+		steps: make([]int32, 0, nP), h: make([]float64, 0, nP), arc: make([]float64, 0, nP),
+		prev: make([]int32, 0, nP), mig: make([]int32, 0, nP), dead: make([]bool, 0, nP),
+	}
+	for _, si := range sh.perRank[rank] {
+		p := sh.starts[si]
+		st.add(p[0], p[1], p[2], -1, int32(si), 0, 0, sh.fo.StepLength, 0, -1)
+	}
+	stats.Seeded = st.n
+	if rank == 0 && sh.fo.Adaptive {
+		// Dead seeds: the oracle's arc-length estimate charges one
+		// crossing each; the root carries them for the merged profile.
+		st.crossings += uint64(sh.deadSeeds)
+	}
+
+	sendBufs := make([][]float64, size)
+	outIdx := make([][]int, size)
+	var idle time.Duration
+
+	terminated := false
+	rounds := 0
+	for round := 0; round < sh.maxRounds; round++ {
+		rounds = round + 1
+		if rank == 0 {
+			sh.recs[0].Launch()
+		}
+
+		t0 := sh.tracer.Begin()
+		if sh.fo.Adaptive {
+			for i := 0; i < st.n; i++ {
+				sh.burstAdaptive(st, s, i, rank32)
+			}
+		} else {
+			for i := 0; i < st.n; i++ {
+				sh.burstFixed(st, s, i, rank32)
+			}
+		}
+		if s.Escaped() {
+			return fmt.Errorf("dist: advect probe escaped rank %d block storage: ghost halo %d too thin for the step length", rank, sh.ghost)
+		}
+		sh.tracer.End(track, "advect.advance", t0)
+
+		// Bucket emigrants (indices reference pre-compaction slots, so
+		// encode before compacting), then drop dead and departed.
+		t1 := sh.tracer.Begin()
+		for d := 0; d < size; d++ {
+			outIdx[d] = outIdx[d][:0]
+		}
+		for i := 0; i < st.n; i++ {
+			if st.dead[i] {
+				stats.Retired++
+				continue
+			}
+			if dst := st.mig[i]; dst >= 0 {
+				outIdx[dst] = append(outIdx[dst], i)
+				stats.MigratedOut++
+				if st.prev[i] == dst {
+					stats.PingPong++
+				}
+			}
+		}
+		for dst := 0; dst < size; dst++ {
+			if dst == rank {
+				continue
+			}
+			sendBufs[dst] = st.encodeInto(sendBufs[dst], outIdx[dst], rank32)
+			if err := ep.Send(dst, advectTagMigrate+round, sendBufs[dst]); err != nil {
+				return err
+			}
+		}
+		w := 0
+		for i := 0; i < st.n; i++ {
+			if st.dead[i] || st.mig[i] >= 0 {
+				continue
+			}
+			if w != i {
+				st.px[w], st.py[w], st.pz[w] = st.px[i], st.py[i], st.pz[i]
+				st.cell[w], st.pid[w], st.seq[w] = st.cell[i], st.pid[i], st.seq[i]
+				st.steps[w], st.h[w], st.arc[w] = st.steps[i], st.h[i], st.arc[i]
+				st.prev[w] = st.prev[i]
+			}
+			st.dead[w], st.mig[w] = false, -1
+			w++
+		}
+		st.n = w
+		for src := 0; src < size; src++ {
+			if src == rank {
+				continue
+			}
+			tw := time.Now()
+			data, err := ep.Recv(src, advectTagMigrate+round)
+			idle += time.Since(tw)
+			if err != nil {
+				return err
+			}
+			c, err := st.ingest(data, src)
+			if err != nil {
+				return err
+			}
+			stats.MigratedIn += c
+		}
+
+		// Termination: allreduce of active counts as a Gather to the
+		// root plus a total broadcast, both tagged with the round.
+		tw := time.Now()
+		parts, err := ep.Gather(0, advectTagCount+round, []float64{float64(st.n)})
+		if err != nil {
+			idle += time.Since(tw)
+			return err
+		}
+		var total float64
+		if rank == 0 {
+			for _, p := range parts {
+				total += p[0]
+			}
+			for dst := 1; dst < size; dst++ {
+				if err := ep.Send(dst, advectTagTotal+round, []float64{total}); err != nil {
+					idle += time.Since(tw)
+					return err
+				}
+			}
+		} else {
+			d, err := ep.Recv(0, advectTagTotal+round)
+			if err != nil {
+				idle += time.Since(tw)
+				return err
+			}
+			total = d[0]
+		}
+		idle += time.Since(tw)
+		sh.tracer.End(track, "advect.exchange", t1)
+		if total == 0 {
+			terminated = true
+			break
+		}
+	}
+	if !terminated {
+		return fmt.Errorf("dist: advect did not terminate within %d rounds (rank %d still holds %d active particles)", sh.maxRounds, rank, st.n)
+	}
+
+	stats.Steps = st.stepsTaken
+	stats.IdleNs = int64(idle)
+	rec := &sh.recs[rank]
+	rec.Flops(st.samples*90 + st.stepsTaken*30 + st.rejects*20)
+	rec.IntOps(st.samples * 24)
+	rec.Branches(st.samples * 6)
+	rec.Loads(st.samples*192, ops.Resident)
+	rec.LoadsN(st.crossings, 192, ops.Random)
+	rec.Stores(st.stepsTaken*32, ops.Stream)
+	pathBytes := st.crossings * 96
+	if blockBytes := uint64(sh.blocks[rank].Grid.NumPoints()) * 24; pathBytes > blockBytes {
+		pathBytes = blockBytes
+	}
+	rec.WorkingSet(pathBytes + st.stepsTaken*32)
+
+	// Final gather: every rank ships its arena as
+	// [nSegs, (pid, seq, n, n×(x, y, z, spd))...]; the root sorts by
+	// (pid, seq) and assembles with the oracle's qualifying rule.
+	segBuf := make([]float64, 0, 1+len(st.segs)*3+len(st.pts)*4)
+	segBuf = append(segBuf, float64(len(st.segs)))
+	for _, sg := range st.segs {
+		segBuf = append(segBuf, float64(sg.pid), float64(sg.seq), float64(sg.n))
+		for j := sg.off; j < sg.off+sg.n; j++ {
+			p := st.pts[j]
+			segBuf = append(segBuf, p[0], p[1], p[2], st.spd[j])
+		}
+	}
+	parts, err := ep.Gather(0, advectTagSegs, segBuf)
+	if err != nil {
+		return err
+	}
+	if rank != 0 {
+		return nil
+	}
+	lines, err := assembleGather(parts, len(sh.starts))
+	if err != nil {
+		return err
+	}
+	sh.lines = lines
+	sh.rounds = rounds
+	return nil
+}
+
+// burstFixed advances particle i by up to advectBurstSteps fixed RK4
+// steps, stopping early on termination (domain exit or step budget)
+// or when the particle's cell layer leaves the owned range (marked
+// for migration). Arithmetic and accounting mirror the shared-memory
+// roundsFixed loop exactly.
+func (sh *advectShared) burstFixed(st *advectRankState, s *mesh.BlockVectorSampler, i int, rank int32) {
+	b := sh.g.Bounds()
+	h := sh.fo.StepLength
+	numSteps := int32(sh.fo.NumSteps)
+	p := mesh.Vec3{st.px[i], st.py[i], st.pz[i]}
+	lastCell := int(st.cell[i])
+	off := int32(len(st.pts))
+	if st.steps[i] == 0 {
+		// First-ever burst: record the seed point (migration requires
+		// an accepted step, so an arrival always has steps > 0).
+		v0, _ := s.Sample(p)
+		st.pts = append(st.pts, p)
+		st.spd = append(st.spd, v0.Norm())
+	}
+	for t := 0; t < advectBurstSteps && st.steps[i] < numSteps; t++ {
+		next, v0, ok := advect.RK4Step(s, p, h)
+		st.samples += 4
+		if !ok {
+			st.dead[i] = true // left the bounding box: terminate
+			break
+		}
+		p = next
+		if !b.Contains(p) {
+			st.dead[i] = true
+			break
+		}
+		st.steps[i]++
+		st.stepsTaken++
+		st.pts = append(st.pts, p)
+		st.spd = append(st.spd, v0.Norm())
+		if c, inGrid := s.Cell(p); inGrid && c != lastCell {
+			st.crossings++
+			lastCell = c
+		}
+		if layer, lok := s.CellLayer(p); lok {
+			if o := sh.owners[layer]; o != rank {
+				st.mig[i] = o
+				break
+			}
+		}
+	}
+	if !st.dead[i] && st.mig[i] < 0 && st.steps[i] >= numSteps {
+		st.dead[i] = true // step budget exhausted
+	}
+	if n := int32(len(st.pts)) - off; n > 0 {
+		st.segs = append(st.segs, rankSeg{pid: st.pid[i], seq: st.seq[i], off: off, n: n})
+		st.seq[i]++
+	}
+	st.px[i], st.py[i], st.pz[i] = p[0], p[1], p[2]
+	st.cell[i] = int32(lastCell)
+}
+
+// burstAdaptive advances particle i by up to advectBurstSteps accepted
+// Bogacki–Shampine steps with the per-particle step size and arc
+// length carried in (and migrated with) the SoA state. Trial order,
+// controller updates, and retirement accounting mirror the
+// shared-memory roundsAdaptive loop exactly.
+func (sh *advectShared) burstAdaptive(st *advectRankState, s *mesh.BlockVectorSampler, i int, rank int32) {
+	b := sh.g.Bounds()
+	h0 := sh.fo.StepLength
+	tol := sh.fo.Tolerance
+	hMin, hMax := advect.AdaptiveStepBounds(h0)
+	maxSteps := sh.fo.NumSteps
+	maxLen := float64(sh.fo.NumSteps) * h0
+	cellDiag := sh.g.Spacing.Norm()
+
+	p := mesh.Vec3{st.px[i], st.py[i], st.pz[i]}
+	hh := st.h[i]
+	arc := st.arc[i]
+	acc := int(st.steps[i])
+	off := int32(len(st.pts))
+	retired := false
+	if acc == 0 {
+		v, _ := s.Sample(p)
+		st.pts = append(st.pts, p)
+		st.spd = append(st.spd, v.Norm())
+		st.stepsTaken++
+	}
+steps:
+	for t := 0; t < advectBurstSteps; t++ {
+		if acc >= maxSteps || arc >= maxLen {
+			retired = true
+			break
+		}
+		for {
+			next, v0, errEst, ok := advect.BS23Step(s, p, hh)
+			st.samples += 4
+			if !ok {
+				retired = true // left the domain
+				break steps
+			}
+			if errEst <= tol || hh <= hMin {
+				d := next.Sub(p).Norm()
+				p = next
+				if !b.Contains(p) {
+					retired = true
+					break steps
+				}
+				arc += d
+				st.pts = append(st.pts, p)
+				st.spd = append(st.spd, v0.Norm())
+				st.stepsTaken++
+				acc++
+				hh = advect.StepController(hh, errEst, tol, hMin, hMax)
+				if layer, lok := s.CellLayer(p); lok {
+					if o := sh.owners[layer]; o != rank {
+						st.mig[i] = o
+						break steps
+					}
+				}
+				break
+			}
+			st.rejects++
+			hh = advect.StepController(hh, errEst, tol, hMin, hMax)
+		}
+	}
+	if retired {
+		st.crossings += uint64(arc/cellDiag) + 1
+		st.dead[i] = true
+	}
+	if n := int32(len(st.pts)) - off; n > 0 {
+		st.segs = append(st.segs, rankSeg{pid: st.pid[i], seq: st.seq[i], off: off, n: n})
+		st.seq[i]++
+	}
+	st.px[i], st.py[i], st.pz[i] = p[0], p[1], p[2]
+	st.h[i] = hh
+	st.arc[i] = arc
+	st.steps[i] = int32(acc)
+}
+
+// assembleGather stitches the per-rank segment messages into one
+// LineSet exactly as the shared-memory assemble does: segments sorted
+// by (pid, seq), particles with fewer than two points dropped, output
+// slices sized exactly.
+func assembleGather(parts [][]float64, nP int) (*mesh.LineSet, error) {
+	type rootSeg struct {
+		pid, seq, n int32
+		rank, off   int
+	}
+	var all []rootSeg
+	for r, data := range parts {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("dist: advect segment gather from rank %d is empty", r)
+		}
+		ns := int(data[0])
+		pos := 1
+		for k := 0; k < ns; k++ {
+			if pos+3 > len(data) {
+				return nil, fmt.Errorf("dist: advect segment gather from rank %d truncated", r)
+			}
+			sg := rootSeg{pid: int32(data[pos]), seq: int32(data[pos+1]), n: int32(data[pos+2]), rank: r}
+			pos += 3
+			sg.off = pos
+			pos += 4 * int(sg.n)
+			if pos > len(data) || sg.pid < 0 || int(sg.pid) >= nP {
+				return nil, fmt.Errorf("dist: advect segment gather from rank %d malformed", r)
+			}
+			all = append(all, sg)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].pid != all[b].pid {
+			return all[a].pid < all[b].pid
+		}
+		return all[a].seq < all[b].seq
+	})
+	counts := make([]int32, nP)
+	for _, sg := range all {
+		counts[sg.pid] += sg.n
+	}
+	nLines, total := 0, 0
+	for _, c := range counts {
+		if c >= 2 {
+			total += int(c)
+			nLines++
+		}
+	}
+	out := &mesh.LineSet{
+		Points:  make([]mesh.Vec3, 0, total),
+		Scalars: make([]float64, 0, total),
+		Offsets: make([]int32, 1, nLines+1),
+	}
+	for i := 0; i < len(all); {
+		j := i
+		pid := all[i].pid
+		for j < len(all) && all[j].pid == pid {
+			j++
+		}
+		if counts[pid] >= 2 {
+			for _, sg := range all[i:j] {
+				data := parts[sg.rank]
+				for q := 0; q < int(sg.n); q++ {
+					o := sg.off + 4*q
+					out.Points = append(out.Points, mesh.Vec3{data[o], data[o+1], data[o+2]})
+					out.Scalars = append(out.Scalars, data[o+3])
+				}
+			}
+			out.Offsets = append(out.Offsets, int32(len(out.Points)))
+		}
+		i = j
+	}
+	return out, nil
+}

@@ -52,6 +52,9 @@ type Config struct {
 	Sizes []int
 	// PhaseSize is the data-set size Phases 1 and 2 use. Default 128.
 	PhaseSize int
+	// Ranks are the fabric sizes the distributed-advection scaling
+	// sweep (AdvectScaling) runs, ascending. Default {1, 2, 4, 8}.
+	Ranks []int
 
 	// Workload knobs (paper values by default).
 	Images        int // ray tracing / volume rendering image count (50)
@@ -96,10 +99,12 @@ type Config struct {
 	// tests use.
 	Inject func(name string, size int, attempt int) error
 
-	datasets  map[int]*mesh.UniformGrid
-	runs      map[string]*AlgoRun
-	failures  []CellError
-	cellsDone int
+	datasets     map[int]*mesh.UniformGrid
+	runs         map[string]*AlgoRun
+	advectRuns   map[string]*AdvectDistRun
+	advectOracle map[int]*advectOracleRun
+	failures     []CellError
+	cellsDone    int
 }
 
 // Defaults fills unset fields with the paper's configuration and returns
@@ -121,6 +126,9 @@ func (c *Config) Defaults() *Config {
 	}
 	if c.PhaseSize == 0 {
 		c.PhaseSize = 128
+	}
+	if len(c.Ranks) == 0 {
+		c.Ranks = []int{1, 2, 4, 8}
 	}
 	if c.Images == 0 {
 		c.Images = 50
@@ -157,6 +165,12 @@ func (c *Config) Defaults() *Config {
 	}
 	if c.runs == nil {
 		c.runs = make(map[string]*AlgoRun)
+	}
+	if c.advectRuns == nil {
+		c.advectRuns = make(map[string]*AdvectDistRun)
+	}
+	if c.advectOracle == nil {
+		c.advectOracle = make(map[int]*advectOracleRun)
 	}
 	return c
 }
@@ -314,12 +328,15 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 	c.cellsDone++
 	if err != nil {
 		c.failures = append(c.failures, CellError{Name: f.Name(), Size: size, Attempts: attempts, Err: err})
-		c.heartbeat("cell %d/%d (%s, %d^3) FAILED after %d attempt(s): %v",
+		c.heartbeat("cell %d/%d (%s, %d^3, ranks=1) FAILED after %d attempt(s): %v",
 			c.cellsDone, c.totalCells(), f.Name(), size, attempts, err)
 		return nil, err
 	}
 	c.runs[key] = run
-	c.heartbeat("cell %d/%d (%s, %d^3, %d caps) done in %.2fs",
+	// Shared-memory cells run on one fabric rank; the distributed
+	// advection sweep (AdvectDist) emits the same line shape with its
+	// real rank count.
+	c.heartbeat("cell %d/%d (%s, %d^3, ranks=1, %d caps) done in %.2fs",
 		c.cellsDone, c.totalCells(), run.Name, size, len(c.Caps), run.WallSec)
 	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
 		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)

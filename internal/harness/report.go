@@ -107,6 +107,7 @@ func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Clai
 			r.Name, d.PowerWatts, d.IPC, d.LLCMissRate, slowStr, tr.Tratio, eRatio)
 	}
 	c.writeCellCost(&b)
+	c.writeAdvectDist(&b)
 	b.WriteString("\nSee EXPERIMENTS.md for the paper-versus-measured discussion.\n")
 	_, err := io.WriteString(w, b.String())
 	return err

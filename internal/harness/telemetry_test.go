@@ -40,8 +40,8 @@ func TestHeartbeatLines(t *testing.T) {
 	}
 	// tinyConfig: 8 algorithms x 2 sizes = 16 cells.
 	want := []*regexp.Regexp{
-		regexp.MustCompile(`^cell 1/16 \(Contour, 8\^3, 9 caps\) done in \d+\.\d+s$`),
-		regexp.MustCompile(`^cell 2/16 \(Threshold, 8\^3, 9 caps\) done in \d+\.\d+s$`),
+		regexp.MustCompile(`^cell 1/16 \(Contour, 8\^3, ranks=1, 9 caps\) done in \d+\.\d+s$`),
+		regexp.MustCompile(`^cell 2/16 \(Threshold, 8\^3, ranks=1, 9 caps\) done in \d+\.\d+s$`),
 	}
 	for i, re := range want {
 		if !re.MatchString(lines[i]) {
@@ -67,7 +67,7 @@ func TestHeartbeatFailedCell(t *testing.T) {
 		t.Fatal("injected failure did not propagate")
 	}
 	got := strings.TrimSpace(hb.String())
-	re := regexp.MustCompile(`^cell 1/16 \(Slice, 8\^3\) FAILED after 1 attempt\(s\): .*boom`)
+	re := regexp.MustCompile(`^cell 1/16 \(Slice, 8\^3, ranks=1\) FAILED after 1 attempt\(s\): .*boom`)
 	if !re.MatchString(got) {
 		t.Errorf("failure heartbeat = %q, want match for %s", got, re)
 	}

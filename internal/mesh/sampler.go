@@ -39,14 +39,20 @@ type samplerGeom struct {
 }
 
 func newSamplerGeom(g *UniformGrid) samplerGeom {
-	cd := g.CellDims()
+	return newSamplerGeomFrom(g.Origin, g.Spacing, g.CellDims())
+}
+
+// newSamplerGeomFrom builds the geometry from explicit parameters, so a
+// block sampler can run the whole-grid index arithmetic while holding
+// only a slab of the storage (see blocks.go).
+func newSamplerGeomFrom(origin, spacing Vec3, cd [3]int) samplerGeom {
 	sg := samplerGeom{
-		org: [3]float64{g.Origin[0], g.Origin[1], g.Origin[2]},
-		sp:  [3]float64{g.Spacing[0], g.Spacing[1], g.Spacing[2]},
+		org: [3]float64{origin[0], origin[1], origin[2]},
+		sp:  [3]float64{spacing[0], spacing[1], spacing[2]},
 		cd:  cd,
 		cdf: [3]float64{float64(cd[0]), float64(cd[1]), float64(cd[2])},
-		nx:  g.Dims[0],
-		nxy: g.Dims[0] * g.Dims[1],
+		nx:  cd[0] + 1,
+		nxy: (cd[0] + 1) * (cd[1] + 1),
 	}
 	sg.exact = true
 	for i := 0; i < 3; i++ {
@@ -104,6 +110,30 @@ func (sg *samplerGeom) Cell(p Vec3) (int, bool) {
 	}
 	ci, cj, ck := sg.clamp(fx, fy, fz)
 	return ci + sg.cd[0]*(cj+sg.cd[1]*ck), true
+}
+
+// CellLayer returns the z cell layer containing p, with the sampler's
+// exact bounds test and clamp. Distributed advection uses it as the
+// particle-ownership predicate, so every rank agrees bit for bit.
+func (sg *samplerGeom) CellLayer(p Vec3) (int, bool) {
+	fx, fy, fz, ok := sg.index(p)
+	if !ok {
+		return -1, false
+	}
+	_, _, ck := sg.clamp(fx, fy, fz)
+	return ck, true
+}
+
+// InDomain reports whether p is inside the grid's sampling domain —
+// the exact bounds test every interpolation path applies (locate's
+// check on the continuous cell coordinates, which the samplers
+// reproduce bit for bit). This is the shared seed-validation predicate:
+// a position InDomain rejects is one SampleVector, the fast samplers,
+// and the distributed block samplers would all reject identically.
+func (g *UniformGrid) InDomain(p Vec3) bool {
+	sg := newSamplerGeom(g)
+	_, _, _, ok := sg.index(p)
+	return ok
 }
 
 // CellIndex returns the linearized id of the cell containing p, or

@@ -13,29 +13,10 @@ import (
 // adaptive mode is an extension for users who care about trajectory
 // accuracy per sample rather than a fixed cost per particle.
 
-// bs23Sampler is bs23 on the fast sampling layer: the same stage
-// positions, combination coefficients, and arithmetic order, with the
-// four field samples going through the fused-gather VectorSampler
-// instead of the by-name lookup. Bit-identical to bs23 by the sampler's
-// contract.
-func bs23Sampler(s *mesh.VectorSampler, p mesh.Vec3, h float64) (next mesh.Vec3, v0 mesh.Vec3, errEst float64, ok bool) {
-	k1, ok1 := s.Sample(p)
-	k2, ok2 := s.Sample(p.Add(k1.Scale(h / 2)))
-	k3, ok3 := s.Sample(p.Add(k2.Scale(3 * h / 4)))
-	if !(ok1 && ok2 && ok3) {
-		return p, k1, 0, false
-	}
-	// Third-order solution.
-	next = p.Add(k1.Scale(2 * h / 9)).Add(k2.Scale(h / 3)).Add(k3.Scale(4 * h / 9))
-	k4, ok4 := s.Sample(next)
-	if !ok4 {
-		return p, k1, 0, false
-	}
-	// Embedded second-order solution.
-	low := p.Add(k1.Scale(7 * h / 24)).Add(k2.Scale(h / 4)).Add(k3.Scale(h / 3)).Add(k4.Scale(h / 8))
-	errEst = next.Sub(low).Norm()
-	return next, k1, errEst, true
-}
+// The fast paths (shared-memory and distributed) take the same trial
+// step through the generic BS23Step kernel (kernel.go) instantiated
+// with the fused-gather samplers; bit-identity to the by-name bs23
+// below follows from the samplers' contract.
 
 // bs23 advances p by one adaptive step of size at most h, returning the
 // new position, the velocity at p, the error estimate, and whether every
@@ -67,8 +48,7 @@ func bs23(g *mesh.UniformGrid, field string, p mesh.Vec3, h float64) (next mesh.
 func integrateAdaptive(g *mesh.UniformGrid, field string, start mesh.Vec3,
 	tol, h0, maxLen float64, maxSteps int) (pts []mesh.Vec3, spd []float64, samples, rejects uint64) {
 	b := g.Bounds()
-	hMax := h0 * 16
-	hMin := h0 / 64
+	hMin, hMax := AdaptiveStepBounds(h0)
 	h := h0
 	p := start
 	v, ok := g.SampleVector(field, p)

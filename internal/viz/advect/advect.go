@@ -246,11 +246,14 @@ func (f *Filter) run(g *mesh.UniformGrid, ex *viz.Exec, starts []mesh.Vec3) *viz
 	nP := len(starts)
 	workers := ex.Pool.Workers()
 	sc := leaseScratch(ex.Pool, nP, workers)
+	// Out-of-domain seeds are rejected up front by the validation
+	// predicate shared with RunReference and dist.Advect; round 0
+	// skips them and the first compaction drops them.
+	RejectSeeds(g, starts, sc.dead)
 	for i, p := range starts {
 		sc.px[i], sc.py[i], sc.pz[i] = p[0], p[1], p[2]
 		sc.cell[i] = -1
 		sc.pid[i] = int32(i)
-		sc.dead[i] = false
 		sc.h[i] = f.opts.StepLength
 		sc.arc[i] = 0
 		sc.accepted[i] = 0
@@ -310,35 +313,30 @@ func (f *Filter) roundsFixed(g *mesh.UniformGrid, ex *viz.Exec, proto *mesh.Vect
 				lastCell := int(sc.cell[si])
 				off := int32(len(ar.pts))
 				if first {
-					v0, ok := s.Sample(p)
-					if !ok {
-						sc.dead[si] = true
-						continue
+					if sc.dead[si] {
+						continue // out-of-domain seed (RejectSeeds)
 					}
+					v0, _ := s.Sample(p)
 					ar.pts = append(ar.pts, p)
 					ar.spd = append(ar.spd, v0.Norm())
 				}
 				for t := 0; t < k; t++ {
 					// RK4 with four field samples, in the reference's
-					// exact arithmetic order.
-					k1, ok1 := s.Sample(p)
-					k2, ok2 := s.Sample(p.Add(k1.Scale(h / 2)))
-					k3, ok3 := s.Sample(p.Add(k2.Scale(h / 2)))
-					k4, ok4 := s.Sample(p.Add(k3.Scale(h)))
+					// exact arithmetic order (the shared kernel).
+					next, v0, ok := RK4Step(&s, p, h)
 					samples += 4
-					if !(ok1 && ok2 && ok3 && ok4) {
+					if !ok {
 						sc.dead[si] = true
 						break // left the bounding box: terminate
 					}
-					delta := k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(h / 6)
-					p = p.Add(delta)
+					p = next
 					if !b.Contains(p) {
 						sc.dead[si] = true
 						break
 					}
 					stepsTaken++
 					ar.pts = append(ar.pts, p)
-					ar.spd = append(ar.spd, k1.Norm())
+					ar.spd = append(ar.spd, v0.Norm())
 					if c, inGrid := s.Cell(p); inGrid && c != lastCell {
 						crossings++
 						lastCell = c
@@ -377,8 +375,7 @@ func (f *Filter) roundsAdaptive(g *mesh.UniformGrid, ex *viz.Exec, proto *mesh.V
 	b := g.Bounds()
 	h0 := f.opts.StepLength
 	tol := f.opts.Tolerance
-	hMax := h0 * 16
-	hMin := h0 / 64
+	hMin, hMax := AdaptiveStepBounds(h0)
 	maxSteps := f.opts.NumSteps
 	maxLen := float64(f.opts.NumSteps) * h0
 	cellDiag := g.Spacing.Norm()
@@ -399,14 +396,14 @@ func (f *Filter) roundsAdaptive(g *mesh.UniformGrid, ex *viz.Exec, proto *mesh.V
 				off := int32(len(ar.pts))
 				retired := false
 				if first {
-					v, ok := s.Sample(p)
-					if !ok {
-						// Dead at the seed: the arc-length estimate still
-						// charges one crossing, as the reference does.
+					if sc.dead[si] {
+						// Out-of-domain seed (RejectSeeds): the arc-length
+						// estimate still charges one crossing, as the
+						// reference does.
 						crossings++
-						sc.dead[si] = true
 						continue
 					}
+					v, _ := s.Sample(p)
 					ar.pts = append(ar.pts, p)
 					ar.spd = append(ar.spd, v.Norm())
 					stepsTaken++
@@ -418,7 +415,7 @@ func (f *Filter) roundsAdaptive(g *mesh.UniformGrid, ex *viz.Exec, proto *mesh.V
 						break
 					}
 					for {
-						next, v0, errEst, ok := bs23Sampler(&s, p, hh)
+						next, v0, errEst, ok := BS23Step(&s, p, hh)
 						samples += 4
 						if !ok {
 							retired = true // left the domain

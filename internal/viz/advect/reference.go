@@ -43,6 +43,8 @@ func (f *Filter) runReference(g *mesh.UniformGrid, ex *viz.Exec, starts []mesh.V
 	lines := make([]line, len(starts))
 	cellDiag := g.Spacing.Norm()
 	crossingsByWorker := make([]uint64, ex.Pool.Workers())
+	// The same out-of-domain seed predicate as Run and dist.Advect.
+	deadSeed := RejectSeeds(g, starts, nil)
 
 	ex.Rec(0).Launch()
 	ex.Pool.For(len(starts), 0, func(lo, hi, worker int) {
@@ -51,6 +53,12 @@ func (f *Filter) runReference(g *mesh.UniformGrid, ex *viz.Exec, starts []mesh.V
 		for pi := lo; pi < hi; pi++ {
 			p := starts[pi]
 			if f.opts.Adaptive {
+				if deadSeed[pi] {
+					// Dead at the seed: the arc-length estimate still
+					// charges one crossing.
+					crossings++
+					continue
+				}
 				apts, aspd, aSamples, aRejects := integrateAdaptive(
 					g, f.opts.Vector, p, f.opts.Tolerance, h,
 					float64(f.opts.NumSteps)*h, f.opts.NumSteps)
@@ -66,13 +74,13 @@ func (f *Filter) runReference(g *mesh.UniformGrid, ex *viz.Exec, starts []mesh.V
 				lines[pi] = line{pts: apts, spd: aspd}
 				continue
 			}
+			if deadSeed[pi] {
+				continue
+			}
 			pts := make([]mesh.Vec3, 0, f.opts.NumSteps/4)
 			spd := make([]float64, 0, f.opts.NumSteps/4)
 			lastCell := -1
-			v0, ok := g.SampleVector(f.opts.Vector, p)
-			if !ok {
-				continue
-			}
+			v0, _ := g.SampleVector(f.opts.Vector, p)
 			pts = append(pts, p)
 			spd = append(spd, v0.Norm())
 			for s := 0; s < f.opts.NumSteps; s++ {
