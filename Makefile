@@ -17,9 +17,15 @@
 #                  advection benchmarks recorded in BENCH_PR6.json
 #                  (reference/fast single-rank oracles vs dist.Advect at
 #                  1/2/4/8 ranks on a migration-heavy field), -benchmem
+#   make bench-serve - the daemon benchmarks recorded in BENCH_PR7.json
+#                  (cold vs warm frame latency through the derived-
+#                  structure cache; admitted request throughput with the
+#                  power-budget admission queue on vs off), -benchmem
 #   make profile - run the vizpower profile subcommand at demonstration
 #                  scale into out/profile (trace.json + summary.txt),
 #                  validating the exported JSON
+#   make serve   - run the rendering daemon at demonstration scale on
+#                  localhost:8080 with a 130 W budget
 #
 # Every test target carries -timeout 120s: the fabric tests deliberately
 # create would-be deadlocks and rely on cancellation to unblock, so a
@@ -28,9 +34,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve
 
-.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist profile
+.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve profile serve
 
 check: vet build test race
 
@@ -68,8 +74,18 @@ bench-advect-dist:
 		-bench 'BenchmarkAdvectDist' \
 		-benchtime 3x
 
+bench-serve:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkServe' \
+		-benchtime 5x
+
 # Run the telemetry subcommand at demonstration scale and confirm the
 # exported trace parses as Chrome trace-event JSON (the CLI re-validates
 # the written bytes and fails the command otherwise).
 profile:
 	$(GO) run ./cmd/vizpower profile -quick -cap 80 -cycles 3 -out out/profile
+
+# Run the daemon at demonstration scale (ctrl-C drains in-flight
+# requests and finalizes the cinema manifests before exiting).
+serve:
+	$(GO) run ./cmd/vizpower serve -quick -addr localhost:8080 -budget 130 -out out

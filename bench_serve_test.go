@@ -1,0 +1,164 @@
+// Serving-daemon benchmarks (recorded in BENCH_PR7.json): frame latency
+// through the derived-structure cache cold vs warm, and admitted request
+// throughput with the power-budget admission queue on vs off.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// benchServeConfig returns a daemon-sized study configuration over the
+// shared bench grid.
+func benchServeConfig(b *testing.B) *harness.Config {
+	n := benchSize()
+	c := (&harness.Config{
+		Pool:  par.Default(),
+		Sizes: []int{n}, PhaseSize: n,
+		Images: 8, ImageSize: 64,
+		MaxSimSize: n, SimTime: 0.05,
+	}).Defaults()
+	c.Preload(n, benchGrid(b, n))
+	return c
+}
+
+func benchGet(b *testing.B, ts *httptest.Server, path string) (*http.Response, []byte) {
+	b.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resp, body
+}
+
+// BenchmarkServeRenderCold measures /render with a fresh daemon per
+// iteration: every frame pays everything the cache amortizes away —
+// materializing the dataset (the hydro proxy run) plus the renderer
+// build — before it can sample a single ray.
+func BenchmarkServeRenderCold(b *testing.B) {
+	n := benchSize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := (&harness.Config{
+			Pool:  par.Default(),
+			Sizes: []int{n}, PhaseSize: n,
+			Images: 8, ImageSize: 64,
+			MaxSimSize: n, SimTime: 0.05,
+		}).Defaults()
+		s := serve.New(serve.Options{Config: cfg, CinemaDir: b.TempDir()})
+		ts := httptest.NewServer(s.Handler())
+		b.StartTimer()
+		resp, _ := benchGet(b, ts, "/render?alg=volren&frame=2")
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Serve-Cache") != "miss" {
+			b.Fatal("cold iteration hit the cache")
+		}
+		b.StopTimer()
+		ts.Close()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServeRenderWarm measures /render against one long-lived
+// daemon: after the first request every frame reuses the cached
+// structures — the steady state a daemon exists for.
+func BenchmarkServeRenderWarm(b *testing.B) {
+	cfg := benchServeConfig(b)
+	s := serve.New(serve.Options{Config: cfg, CinemaDir: b.TempDir()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, _ := benchGet(b, ts, "/render?alg=volren&frame=2"); resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _ := benchGet(b, ts, "/render?alg=volren&frame=2")
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// serveThroughput drives concurrent mixed-class clients at a warm daemon
+// and reports admitted requests/s plus the measured average admitted
+// power from the admission integral.
+func serveThroughput(b *testing.B, budget float64) {
+	cfg := benchServeConfig(b)
+	s := serve.New(serve.Options{Config: cfg, BudgetWatts: budget, QueueDepth: 256, CinemaDir: b.TempDir()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Warm both structures so throughput measures serving, not building.
+	for _, p := range []string{"/render?alg=volren", "/render?alg=raytrace"} {
+		if resp, _ := benchGet(b, ts, p); resp.StatusCode != http.StatusOK {
+			b.Fatalf("warmup status %d", resp.StatusCode)
+		}
+	}
+	const clients = 8
+	var served atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range work {
+				// Alternate the sensitive and opportunity class.
+				alg := "volren"
+				if (c+i)%2 == 0 {
+					alg = "raytrace"
+				}
+				resp, _ := benchGet(b, ts, fmt.Sprintf("/render?alg=%s&frame=%d", alg, i%8))
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < b.N; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	st := s.Admission().Stats()
+	b.ReportMetric(float64(served.Load())/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(st.AvgWatts, "avgW")
+	b.ReportMetric(st.PeakWatts, "peakW")
+	if budget > 0 && st.AvgWatts > budget+1e-9 {
+		b.Fatalf("average admitted power %.1f W exceeds the %.0f W budget", st.AvgWatts, budget)
+	}
+}
+
+// BenchmarkServeThroughputCapped runs the mixed-class client load under
+// a 130 W node budget.
+func BenchmarkServeThroughputCapped(b *testing.B) { serveThroughput(b, 130) }
+
+// BenchmarkServeThroughputUncapped is the same load with admission
+// control off.
+func BenchmarkServeThroughputUncapped(b *testing.B) { serveThroughput(b, 0) }

@@ -27,6 +27,10 @@
 //	profile   execution telemetry: run in situ cycles under a cap and
 //	          write a Perfetto-loadable trace.json plus a stage summary
 //	allocate  split a node power budget between simulation and viz
+//	serve     run the rendering daemon: an HTTP/JSON API for frames,
+//	          cinema orbit segments, and sweep cells, with a shared
+//	          derived-structure cache and a power-budgeted admission
+//	          queue (-addr, -budget; -budget 0 disables admission)
 //	all       regenerate everything into -out (tables, CSVs, images)
 //
 // Common flags: -quick shrinks the study for a fast demonstration;
@@ -36,14 +40,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cinema"
@@ -56,6 +64,7 @@ import (
 	"repro/internal/msr"
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
+	"repro/internal/serve"
 	"repro/internal/sim/clover"
 	"repro/internal/telemetry"
 	"repro/internal/viz"
@@ -86,6 +95,8 @@ type options struct {
 	distRanks  int
 	traceFile  string
 	cpuprofile string
+	addr       string
+	queueDepth int
 }
 
 func parseFlags(cmd string, args []string) (*options, error) {
@@ -103,7 +114,9 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
 		out       = fs.String("out", "out", "output directory (fig1, all)")
 		capW      = fs.Float64("cap", 65, "power cap in watts (trace)")
-		budget    = fs.Float64("budget", 130, "node power budget in watts (allocate)")
+		budget    = fs.Float64("budget", 130, "node power budget in watts (allocate, serve; serve: 0 disables admission control)")
+		addr      = fs.String("addr", "localhost:8080", "listen address (serve)")
+		queue     = fs.Int("queue", 64, "admission queue depth before 429s (serve)")
 		cycles    = fs.Int("cycles", 3, "in situ cycles (trace)")
 		figRes    = fs.Int("figres", 256, "figure-1 rendering resolution")
 		alg       = fs.String("alg", "Contour", "algorithm name (arch)")
@@ -184,6 +197,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
 		alg: *alg, extended: *extended, adaptive: *adaptive, distRanks: distRanks,
 		traceFile: *traceF, cpuprofile: *cpuprof,
+		addr: *addr, queueDepth: *queue,
 	}, nil
 }
 
@@ -217,8 +231,14 @@ func run(args []string) (retErr error) {
 	}
 	if opt.traceFile != "" {
 		// One tracer across the whole invocation: harness cell spans on
-		// the pipeline track, pool chunk spans on the worker tracks.
-		tr := telemetry.New(c.Pool.Workers())
+		// the pipeline track, pool chunk spans on the worker tracks —
+		// plus request-lane tracks when the daemon is what's traced.
+		var tr *telemetry.Tracer
+		if cmd == "serve" {
+			tr = telemetry.NewServing(c.Pool.Workers(), 8)
+		} else {
+			tr = telemetry.New(c.Pool.Workers())
+		}
 		c.Pool.Instrument(tr)
 		c.Tracer = tr
 		defer func() {
@@ -338,6 +358,8 @@ func run(args []string) (retErr error) {
 		return profileCmd(c, opt)
 	case "allocate":
 		return allocateCmd(c, opt)
+	case "serve":
+		return serveCmd(c, opt)
 	case "all":
 		if err := allCmd(c, opt); err != nil {
 			return err
@@ -348,6 +370,47 @@ func run(args []string) (retErr error) {
 	}
 	reportFailures(c)
 	return nil
+}
+
+// serveCmd runs the power-budgeted rendering daemon until interrupted,
+// then drains in-flight requests and finalizes the open cinema databases.
+func serveCmd(c *harness.Config, opt *options) error {
+	srv := serve.New(serve.Options{
+		Config:      c,
+		BudgetWatts: opt.budget,
+		QueueDepth:  opt.queueDepth,
+		CinemaDir:   filepath.Join(opt.out, "serve-cinema"),
+		Tracer:      c.Tracer,
+	})
+	hs := &http.Server{Addr: opt.addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	if opt.budget > 0 {
+		fmt.Fprintf(os.Stderr, "vizpower serve: listening on %s (budget %.0f W, queue %d)\n",
+			opt.addr, opt.budget, opt.queueDepth)
+	} else {
+		fmt.Fprintf(os.Stderr, "vizpower serve: listening on %s (admission control off)\n", opt.addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		// Listener died on its own (bad address, port in use).
+		srv.Close()
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "vizpower serve: %v — draining\n", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		// Stragglers past the drain window are cut off; the cinema
+		// manifests below still cover every frame that completed.
+		hs.Close()
+	}
+	return srv.Close()
 }
 
 // reportFailures prints the partial-sweep error report to stderr: failed
@@ -1003,7 +1066,8 @@ func usage() {
 commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           classify [-extended] arch [-alg NAME] export trace allocate
           advect [-ranks LIST -adaptive] profile [-cap W -cycles N -out DIR -ranks LIST]
-          overprovision [-alg NAME -budget W] feedback [-cap W] all
+          overprovision [-alg NAME -budget W] feedback [-cap W]
+          serve [-addr HOST:PORT -budget W -queue N -out DIR] all
 run "vizpower <command> -h" for flags; add -quick for a fast demonstration
 global: -trace FILE writes a Perfetto-loadable execution trace of any
 command; -cpuprofile FILE writes a pprof CPU profile`)

@@ -13,20 +13,33 @@
 // Finalize drains the queue and sorts the manifest by (cycle, index), so
 // the persisted index.json is identical whether encoding was synchronous
 // or pipelined.
+//
+// A Database tolerates concurrent producers: Add, AddAt, NewCycle, and
+// Len may be called from multiple goroutines (the serving daemon shares
+// one database across in-flight requests). Finalize always persists the
+// manifest of every successfully stored frame, even when some frames
+// failed to encode — the failures are collected (all of them, joined)
+// and returned alongside the written index rather than orphaning the
+// images that did land on disk.
 package cinema
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/render"
 )
+
+// ErrFinalized is returned by Add/AddAt after Finalize: the encode queue
+// is gone and the manifest is written, so late frames are a caller bug —
+// they must fail loudly instead of silently re-entering synchronous mode.
+var ErrFinalized = errors.New("cinema: database already finalized")
 
 // Entry describes one stored image.
 type Entry struct {
@@ -47,14 +60,17 @@ type Index struct {
 
 // Database accumulates images into a directory.
 type Database struct {
-	dir   string
-	cycle int
+	dir string
 
-	mu    sync.Mutex // guards index while encode workers append entries
-	index Index
+	mu        sync.Mutex // guards everything below
+	cycle     int
+	index     Index
+	errs      []error        // every failed store, in completion order
+	jobs      chan encodeJob // nil until StartAsync
+	finalized bool
+	producers sync.WaitGroup // Adds holding a reference to jobs
 
-	jobs chan encodeJob // nil until StartAsync
-	wg   sync.WaitGroup
+	wg sync.WaitGroup // encode workers
 }
 
 type encodeJob struct {
@@ -84,7 +100,9 @@ func New(dir, name, algorithm string) (*Database, error) {
 // the machine size; depth <= 0 defaults to twice the workers. A second
 // call before Finalize is a no-op.
 func (d *Database) StartAsync(workers, depth int) {
-	if d.jobs != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.jobs != nil || d.finalized {
 		return
 	}
 	if workers <= 0 {
@@ -100,11 +118,15 @@ func (d *Database) StartAsync(workers, depth int) {
 		depth = 2 * workers
 	}
 	d.jobs = make(chan encodeJob, depth)
+	// Workers must range over a captured copy: Finalize nils d.jobs before
+	// closing the channel, and a worker scheduled late would otherwise read
+	// the nil field and block forever.
+	jobs := d.jobs
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			for j := range d.jobs {
+			for j := range jobs {
 				d.store(j)
 			}
 		}()
@@ -120,37 +142,80 @@ func (d *Database) Sink() func(index int, azimuthRad float64, im *render.Image) 
 	}
 }
 
-// Add stores one image — immediately when synchronous, or by handing the
-// frame to the encode queue when StartAsync is active (in which case the
-// returned error is always nil and failures surface at Finalize).
+// Add stores one image under the database's current cycle — immediately
+// when synchronous, or by handing the frame to the encode queue when
+// StartAsync is active (in which case the returned error is nil and
+// failures surface at Finalize). Adding to a finalized database returns
+// ErrFinalized. Safe for concurrent use.
 func (d *Database) Add(index int, azimuthRad float64, im *render.Image) error {
-	j := encodeJob{
-		name:       fmt.Sprintf("c%03d_i%03d.png", d.cycle, index),
-		index:      index,
-		azimuthRad: azimuthRad,
-		cycle:      d.cycle,
-		im:         im,
-	}
-	if d.jobs != nil {
-		d.jobs <- j
-		return nil
-	}
-	return d.store(j)
+	return d.AddAt(-1, index, azimuthRad, im)
 }
 
-// store encodes and writes one frame and appends its manifest entry; a
-// failure is recorded as an ERROR entry so Finalize can report it.
-func (d *Database) store(j encodeJob) error {
-	entry := Entry{File: j.name, Index: j.index, AzimuthRad: j.azimuthRad, Cycle: j.cycle}
-	err := d.writePNG(j)
-	if err != nil {
-		entry.File = "ERROR:" + err.Error()
-	}
+// AddAt is Add with an explicit visualization-cycle tag (cycle >= 0);
+// cycle < 0 uses the database's current cycle. Concurrent producers that
+// each own a cycle (NewCycle) use it so their frames tag consistently no
+// matter how their Adds interleave with other requests' NewCycle calls.
+func (d *Database) AddAt(cycle, index int, azimuthRad float64, im *render.Image) error {
 	d.mu.Lock()
-	if err == nil && d.index.Width == 0 {
-		d.index.Width, d.index.Height = j.im.W, j.im.H
+	if d.finalized {
+		d.mu.Unlock()
+		return ErrFinalized
 	}
-	d.index.Entries = append(d.index.Entries, entry)
+	if cycle < 0 {
+		cycle = d.cycle
+	}
+	jobs := d.jobs
+	if jobs != nil {
+		// Register as an in-flight producer before dropping the lock:
+		// Finalize waits for registered producers before closing the
+		// queue, so this send can never hit a closed channel. The send
+		// itself happens outside the lock — a full queue must block on
+		// the encode workers, not on the mutex those workers need to
+		// append manifest entries.
+		d.producers.Add(1)
+		d.mu.Unlock()
+		defer d.producers.Done()
+		jobs <- encodeJob{
+			name:       FrameName(cycle, index),
+			index:      index,
+			azimuthRad: azimuthRad,
+			cycle:      cycle,
+			im:         im,
+		}
+		return nil
+	}
+	d.mu.Unlock()
+	return d.store(encodeJob{
+		name:       FrameName(cycle, index),
+		index:      index,
+		azimuthRad: azimuthRad,
+		cycle:      cycle,
+		im:         im,
+	})
+}
+
+// FrameName is the canonical frame file name for (cycle, index); callers
+// that list frames without reading the manifest (the serving daemon's
+// /cinema response) use it to predict where a frame will land.
+func FrameName(cycle, index int) string {
+	return fmt.Sprintf("c%03d_i%03d.png", cycle, index)
+}
+
+// store encodes and writes one frame, appending its manifest entry on
+// success and recording the failure on error.
+func (d *Database) store(j encodeJob) error {
+	err := d.writePNG(j)
+	d.mu.Lock()
+	if err != nil {
+		d.errs = append(d.errs, fmt.Errorf("cinema: %s: %w", j.name, err))
+	} else {
+		if d.index.Width == 0 {
+			d.index.Width, d.index.Height = j.im.W, j.im.H
+		}
+		d.index.Entries = append(d.index.Entries, Entry{
+			File: j.name, Index: j.index, AzimuthRad: j.azimuthRad, Cycle: j.cycle,
+		})
+	}
 	d.mu.Unlock()
 	return err
 }
@@ -168,10 +233,27 @@ func (d *Database) writePNG(j encodeJob) error {
 }
 
 // NextCycle advances the visualization-cycle tag for subsequent images.
-func (d *Database) NextCycle() { d.cycle++ }
+// Safe for concurrent use; producers that need to know which cycle they
+// own should use NewCycle instead.
+func (d *Database) NextCycle() {
+	d.mu.Lock()
+	d.cycle++
+	d.mu.Unlock()
+}
 
-// Len returns the number of images handed over so far (queued frames
-// count once stored; call after Finalize for the settled total).
+// NewCycle atomically claims a fresh cycle tag and returns it: the
+// current cycle is advanced past the returned value, so each concurrent
+// producer gets a private cycle to AddAt into.
+func (d *Database) NewCycle() int {
+	d.mu.Lock()
+	c := d.cycle
+	d.cycle++
+	d.mu.Unlock()
+	return c
+}
+
+// Len returns the number of images stored so far (queued frames count
+// once written; call after Finalize for the settled total).
 func (d *Database) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -179,14 +261,32 @@ func (d *Database) Len() int {
 }
 
 // Finalize drains the encode queue (when async), sorts the manifest into
-// its deterministic (cycle, index) order, writes index.json, and reports
-// any image that failed to store.
+// its deterministic (cycle, index) order, and always writes index.json —
+// every frame that did store stays reachable even when others failed.
+// The returned error joins every failed store plus any manifest write
+// error; nil means every frame and the index landed. Finalize is
+// idempotent; Add/AddAt afterwards return ErrFinalized.
 func (d *Database) Finalize() error {
-	if d.jobs != nil {
-		close(d.jobs)
-		d.wg.Wait()
-		d.jobs = nil
+	d.mu.Lock()
+	if d.finalized {
+		errs := d.errs
+		d.mu.Unlock()
+		return errors.Join(errs...)
 	}
+	d.finalized = true
+	jobs := d.jobs
+	d.jobs = nil
+	d.mu.Unlock()
+	if jobs != nil {
+		// Producers registered before finalized was set may still be
+		// blocked sending; wait them out, then close so the workers
+		// drain and exit.
+		d.producers.Wait()
+		close(jobs)
+		d.wg.Wait()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	sort.SliceStable(d.index.Entries, func(i, j int) bool {
 		a, b := d.index.Entries[i], d.index.Entries[j]
 		if a.Cycle != b.Cycle {
@@ -194,16 +294,15 @@ func (d *Database) Finalize() error {
 		}
 		return a.Index < b.Index
 	})
-	for _, e := range d.index.Entries {
-		if strings.HasPrefix(e.File, "ERROR:") {
-			return fmt.Errorf("cinema: image write failed: %s", e.File[6:])
-		}
-	}
 	data, err := json.MarshalIndent(d.index, "", "  ")
 	if err != nil {
-		return err
+		d.errs = append(d.errs, err)
+		return errors.Join(d.errs...)
 	}
-	return os.WriteFile(filepath.Join(d.dir, "index.json"), data, 0o644)
+	if err := os.WriteFile(filepath.Join(d.dir, "index.json"), data, 0o644); err != nil {
+		d.errs = append(d.errs, err)
+	}
+	return errors.Join(d.errs...)
 }
 
 // Load reads a database manifest back (for viewers and tests).

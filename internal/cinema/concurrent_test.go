@@ -1,0 +1,198 @@
+package cinema
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A run where some frames fail to encode must still persist the manifest
+// for every frame that did land, and the returned error must carry every
+// failure, not just the first.
+func TestFinalizeWritesManifestDespiteFailures(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "partial", "Ray Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two good frames, two doomed ones (a directory squats on each doomed
+	// frame's file name, so os.Create fails regardless of privileges), then
+	// two more good ones.
+	for i := 0; i < 2; i++ {
+		if err := db.Add(i, float64(i), frameImage(i, 4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if err := os.Mkdir(filepath.Join(dir, FrameName(0, i)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if err := db.Add(i, float64(i), frameImage(i, 4, 4)); err == nil {
+			t.Fatalf("Add(%d) onto a squatted name succeeded", i)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if err := db.Add(i, float64(i), frameImage(i, 4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ferr := db.Finalize()
+	if ferr == nil {
+		t.Fatal("Finalize returned nil despite two failed frames")
+	}
+	// All failures collected: both doomed frames named in the joined error.
+	msg := ferr.Error()
+	for _, want := range []string{"c000_i002.png", "c000_i003.png"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing failure for %s: %v", want, ferr)
+		}
+	}
+	// The manifest exists and indexes exactly the four stored frames.
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatalf("manifest not written despite successful frames: %v", err)
+	}
+	if len(idx.Entries) != 4 {
+		t.Fatalf("manifest entries = %d, want 4", len(idx.Entries))
+	}
+	for _, e := range idx.Entries {
+		if strings.HasPrefix(e.File, "ERROR:") {
+			t.Errorf("manifest leaked an error marker entry: %+v", e)
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Errorf("manifest names a missing image %s: %v", e.File, err)
+		}
+	}
+}
+
+// Add after Finalize is a typed error, not a silent fall-back into
+// synchronous mode.
+func TestAddAfterFinalizeTypedError(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		dir := t.TempDir()
+		db, err := New(dir, "late", "Ray Tracing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if async {
+			db.StartAsync(2, 2)
+		}
+		if err := db.Add(0, 0, frameImage(0, 4, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		err = db.Add(1, 0, frameImage(1, 4, 4))
+		if !errors.Is(err, ErrFinalized) {
+			t.Errorf("async=%v: Add after Finalize = %v, want ErrFinalized", async, err)
+		}
+		// Idempotent Finalize keeps returning the settled result.
+		if err := db.Finalize(); err != nil {
+			t.Errorf("async=%v: repeated Finalize = %v", async, err)
+		}
+		// The late frame is not in the manifest and not on disk.
+		idx, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx.Entries) != 1 {
+			t.Errorf("async=%v: entries = %d, want 1", async, len(idx.Entries))
+		}
+	}
+}
+
+// Concurrent producers that each claim a cycle with NewCycle and AddAt
+// into it must neither race nor cross-tag frames. Run under -race.
+func TestConcurrentProducersOwnCycles(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "cycles", "Volume Rendering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.StartAsync(3, 2)
+	const producers, frames = 8, 5
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cyc := db.NewCycle()
+			for i := 0; i < frames; i++ {
+				if err := db.AddAt(cyc, i, float64(i), frameImage(cyc*frames+i, 4, 4)); err != nil {
+					t.Errorf("AddAt(cycle %d, %d): %v", cyc, i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != producers*frames {
+		t.Fatalf("entries = %d, want %d", len(idx.Entries), producers*frames)
+	}
+	// Each cycle holds exactly frames entries with indices 0..frames-1,
+	// sorted — the deterministic manifest order survives concurrency.
+	perCycle := make(map[int][]int)
+	for _, e := range idx.Entries {
+		perCycle[e.Cycle] = append(perCycle[e.Cycle], e.Index)
+	}
+	if len(perCycle) != producers {
+		t.Fatalf("cycles = %d, want %d", len(perCycle), producers)
+	}
+	for cyc, idxs := range perCycle {
+		if len(idxs) != frames {
+			t.Errorf("cycle %d has %d frames, want %d", cyc, len(idxs), frames)
+		}
+		for i, v := range idxs {
+			if v != i {
+				t.Errorf("cycle %d entry %d has index %d; manifest unsorted", cyc, i, v)
+				break
+			}
+		}
+	}
+}
+
+// Concurrent Add and NextCycle on the synchronous path must be free of
+// data races (the server shares one database across requests). Run
+// under -race; tags may interleave but every frame must store.
+func TestConcurrentAddNextCycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(dir, "race", "Ray Tracing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 6
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				// Distinct index per producer so file names never collide
+				// regardless of which cycle tag an Add observes.
+				if err := db.Add(p*10+i, 0, frameImage(i, 4, 4)); err != nil {
+					t.Errorf("Add: %v", err)
+				}
+				db.NextCycle()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := db.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != n*4 {
+		t.Fatalf("stored %d frames, want %d", db.Len(), n*4)
+	}
+}

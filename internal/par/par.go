@@ -244,6 +244,18 @@ func (s *poolState) worker(w int) {
 	}
 }
 
+// ActiveLoops returns the number of parallel loops currently queued or
+// executing on the pool's shared queue — the instantaneous dispatch
+// depth an admission layer reads to observe pool pressure. Loops small
+// enough to run inline on their caller never enter the queue and are
+// not counted. Works on uninstrumented pools.
+func (p *Pool) ActiveLoops() int {
+	s := p.ensure()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
 // pick returns a queued loop that can still use another participant.
 func (s *poolState) pick() *loopTask {
 	s.mu.Lock()

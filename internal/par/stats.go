@@ -92,10 +92,15 @@ type WorkerStats struct {
 	Latency [LatencyBuckets]int64
 }
 
-// PoolStats is a Stats snapshot: loop launches and per-worker counters.
+// PoolStats is a Stats snapshot: loop launches, the instantaneous
+// dispatch-queue depth, and per-worker counters.
 type PoolStats struct {
 	Launches int64
-	Workers  []WorkerStats
+	// ActiveLoops is the number of loops on the shared dispatch queue at
+	// snapshot time (see Pool.ActiveLoops); unlike the counters it is
+	// populated on uninstrumented pools too.
+	ActiveLoops int
+	Workers     []WorkerStats
 }
 
 // Totals sums the per-worker counters.
@@ -118,11 +123,12 @@ func (s PoolStats) Totals() WorkerStats {
 func (p *Pool) Stats() PoolStats {
 	in := p.instr.Load()
 	if in == nil {
-		return PoolStats{Workers: make([]WorkerStats, p.workers)}
+		return PoolStats{ActiveLoops: p.ActiveLoops(), Workers: make([]WorkerStats, p.workers)}
 	}
 	out := PoolStats{
-		Launches: in.launches.Load(),
-		Workers:  make([]WorkerStats, len(in.workers)),
+		Launches:    in.launches.Load(),
+		ActiveLoops: p.ActiveLoops(),
+		Workers:     make([]WorkerStats, len(in.workers)),
 	}
 	for w := range in.workers {
 		c := &in.workers[w]

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleFlight races many goroutines on one key and requires
+// exactly one build.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 64
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.GetOrBuild("k", func() (any, error) {
+				builds.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1", builds.Load())
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Waits != n-1 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCacheErrorEvicts ensures a failed build does not poison the key.
+func TestCacheErrorEvicts(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("failed build left a cached entry")
+	}
+	v, hit, err := c.GetOrBuild("k", func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry after failure: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestCachePeekInvalidate covers the auxiliary operations.
+func TestCachePeekInvalidate(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("Peek on empty cache")
+	}
+	if _, _, err := c.GetOrBuild("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Peek("k"); !ok || v != 1 {
+		t.Fatalf("Peek = %v, %v", v, ok)
+	}
+	c.Invalidate("k")
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("Peek after Invalidate")
+	}
+	if _, hit, _ := c.GetOrBuild("k", func() (any, error) { return 2, nil }); hit {
+		t.Fatal("rebuild after Invalidate reported a hit")
+	}
+}

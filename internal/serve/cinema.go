@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"path/filepath"
+
+	"repro/internal/cinema"
+)
+
+// cinemaDB is one open cinema database plus its identity; the daemon
+// keeps one per (algorithm, size, resolution) and finalizes them all at
+// Close.
+type cinemaDB struct {
+	db  *cinema.Database
+	dir string
+}
+
+// cinemaFor returns (opening on first use) the shared database a
+// request's orbit frames land in. Frames encode on the database's async
+// queue so the HTTP handler returns as soon as the renders are done.
+func (s *Server) cinemaFor(rr *renderRequest) (*cinemaDB, error) {
+	key := fmt.Sprintf("%s-%d-%dx%d", rr.alg, rr.size, rr.w, rr.h)
+	s.cineMu.Lock()
+	defer s.cineMu.Unlock()
+	if db, ok := s.cine[key]; ok {
+		return db, nil
+	}
+	dir := filepath.Join(s.opts.CinemaDir, key)
+	db, err := cinema.New(dir, key, rr.name)
+	if err != nil {
+		return nil, err
+	}
+	db.StartAsync(2, 64)
+	c := &cinemaDB{db: db, dir: dir}
+	s.cine[key] = c
+	return c, nil
+}
+
+// cinemaResponse is the JSON body of /cinema.
+type cinemaResponse struct {
+	Dir    string   `json:"dir"`
+	Cycle  int      `json:"cycle"`
+	From   int      `json:"from"`
+	Count  int      `json:"count"`
+	Width  int      `json:"width"`
+	Height int      `json:"height"`
+	Frames []string `json:"frames"`
+}
+
+// handleCinema serves GET /cinema: render the orbit segment
+// [from, from+count) through the cached derived structure into the
+// shared cinema database for that (algorithm, size, resolution). Each
+// request claims a private cycle number, so concurrent segment requests
+// interleave without colliding on frame names; PNG encoding rides the
+// database's async queue. The manifest lands at Finalize (daemon
+// shutdown) — the response lists the frame files the segment produced.
+func (s *Server) handleCinema(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	track, done := s.lane()
+	defer done()
+	reqStart := s.tr.Begin()
+	defer s.span(track, "serve./cinema", reqStart)
+
+	rr, err := s.parseRender(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	from, err := intParam(q.Get("from"), 0, 0, rr.images-1)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("from: %v", err), http.StatusBadRequest)
+		return
+	}
+	count, err := intParam(q.Get("count"), 8, 1, rr.images)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("count: %v", err), http.StatusBadRequest)
+		return
+	}
+	if from+count > rr.images {
+		count = rr.images - from
+	}
+
+	g := s.admit(w, r, track, rr.name, rr.size)
+	if g == nil {
+		return
+	}
+	defer g.Release()
+
+	buildStart := s.tr.Begin()
+	st, hit, err := s.structure(rr)
+	if hit {
+		s.span(track, "serve.hit", buildStart)
+	} else {
+		s.span(track, "serve.build", buildStart)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cdb, err := s.cinemaFor(rr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	cycle := cdb.db.NewCycle()
+	resp := cinemaResponse{
+		Dir:   cdb.dir,
+		Cycle: cycle,
+		From:  from,
+		Count: count,
+		Width: rr.w, Height: rr.h,
+	}
+	renderStart := s.tr.Begin()
+	for i := 0; i < count; i++ {
+		frame := *rr
+		frame.frame = from + i
+		im, exec := s.renderFrame(st, &frame)
+		s.noteDemand(rr.name, rr.size, exec)
+		az := 2 * math.Pi * float64(frame.frame) / float64(frame.images)
+		encodeStart := s.tr.Begin()
+		if err := cdb.db.AddAt(cycle, frame.frame, az, im); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.span(track, "serve.encode", encodeStart)
+		resp.Frames = append(resp.Frames, cinema.FrameName(cycle, frame.frame))
+	}
+	s.span(track, "serve.render", renderStart)
+	writeJSON(w, resp)
+}

@@ -1,0 +1,661 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/render"
+	"repro/internal/telemetry"
+	"repro/internal/viz"
+	"repro/internal/viz/raytrace"
+	"repro/internal/viz/volren"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Config is the study configuration the daemon serves from: its
+	// datasets, workload defaults (image size, orbit length), processor
+	// spec, and worker pool. nil gets a Defaults() Config.
+	Config *harness.Config
+	// BudgetWatts is the node power budget the admission queue enforces.
+	// <= 0 disables admission control.
+	BudgetWatts float64
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// Lanes is the number of request telemetry lanes (default 8). Only
+	// meaningful with a Tracer.
+	Lanes int
+	// Tracer, when non-nil, receives per-request spans
+	// (admit/wait/build|hit/render/encode) on the request lanes; build
+	// one with telemetry.NewServing(pool.Workers(), Lanes).
+	Tracer *telemetry.Tracer
+	// CinemaDir is where /cinema orbit databases accumulate. Default
+	// "out/serve-cinema".
+	CinemaDir string
+	// MaxSize bounds the dataset edge length a request may ask for
+	// (default 256) — the guard against a stray request scheduling an
+	// arbitrarily large hydro run.
+	MaxSize int
+}
+
+// Server is the power-budgeted rendering daemon: HTTP handlers over the
+// derived-structure cache and the admission queue.
+type Server struct {
+	opts  Options
+	spec  cpu.Spec
+	pool  *par.Pool
+	cache *Cache
+	adm   *Admission
+	tr    *telemetry.Tracer
+	t0    time.Time
+
+	// cfgMu serializes access to the harness.Config, whose internal
+	// caches (datasets, sweep cells) are not concurrency-safe. All
+	// config access funnels through cache builds, so contention is one
+	// lock hold per cold key, not per request.
+	cfgMu sync.Mutex
+
+	lanes chan int
+
+	cineMu sync.Mutex
+	cine   map[string]*cinemaDB
+
+	// estimates holds the measured demand power per (alg, size), fed
+	// back from completed requests so admission charges converge from
+	// the static class default to the modeled demand of the actual
+	// workload. classes likewise upgrades the static paper
+	// classification with the measured one once a sweep cell ran.
+	estimates sync.Map // string -> float64 (watts)
+	classes   sync.Map // string -> core.Class
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New builds a Server over opts.
+func New(opts Options) *Server {
+	if opts.Config == nil {
+		opts.Config = &harness.Config{}
+	}
+	opts.Config.Defaults()
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Lanes <= 0 {
+		opts.Lanes = 8
+	}
+	if opts.CinemaDir == "" {
+		opts.CinemaDir = "out/serve-cinema"
+	}
+	if opts.MaxSize <= 0 {
+		opts.MaxSize = 256
+	}
+	s := &Server{
+		opts:  opts,
+		spec:  opts.Config.Spec,
+		pool:  opts.Config.Pool,
+		cache: NewCache(),
+		adm: NewAdmission(AdmissionOptions{
+			BudgetWatts: opts.BudgetWatts,
+			FloorWatts:  opts.Config.Spec.MinCapWatts,
+			QueueDepth:  opts.QueueDepth,
+		}),
+		tr:   opts.Tracer,
+		t0:   time.Now(),
+		cine: make(map[string]*cinemaDB),
+	}
+	s.lanes = make(chan int, opts.Lanes)
+	for l := 0; l < opts.Lanes; l++ {
+		s.lanes <- l
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP mux:
+//
+//	GET /render  — one orbit frame as PNG
+//	GET /cinema  — an orbit segment into a cinema database (JSON)
+//	GET /sweep   — one (algorithm, size) sweep cell under every cap (JSON)
+//	GET /stats   — admission, cache, and pool counters (JSON)
+//	GET /healthz — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc("/cinema", s.handleCinema)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Close finalizes every open cinema database (writing their manifests)
+// and reports any encode failures. Call after the HTTP server has
+// drained in-flight requests (http.Server.Shutdown).
+func (s *Server) Close() error {
+	s.cineMu.Lock()
+	dbs := make([]*cinemaDB, 0, len(s.cine))
+	for _, db := range s.cine {
+		dbs = append(dbs, db)
+	}
+	s.cine = make(map[string]*cinemaDB)
+	s.cineMu.Unlock()
+	var errs []error
+	for _, db := range dbs {
+		if err := db.db.Finalize(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", db.dir, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// lane leases a request telemetry lane; done returns it. With no tracer
+// (or all lanes busy) the request records no spans — track -1 drops.
+func (s *Server) lane() (track int, done func()) {
+	if s.tr == nil {
+		return -1, func() {}
+	}
+	select {
+	case l := <-s.lanes:
+		return telemetry.LaneTrack(s.pool.Workers(), l), func() { s.lanes <- l }
+	default:
+		return -1, func() {}
+	}
+}
+
+// span records [start, now) on a request lane; a -1 track drops it.
+func (s *Server) span(track int, name string, start int64) {
+	if track >= 0 {
+		s.tr.End(track, name, start)
+	}
+}
+
+// renderRequest is the parsed, validated form of /render and /cinema
+// query parameters.
+type renderRequest struct {
+	alg         string // canonical: "volren" | "raytrace"
+	name        string // paper name for the algorithm
+	size        int
+	frame       int
+	images      int
+	w, h        int
+	transparent float64
+}
+
+// algNames maps accepted ?alg= spellings to (key, paper name).
+var algNames = map[string][2]string{
+	"volren":           {"volren", "Volume Rendering"},
+	"volume rendering": {"volren", "Volume Rendering"},
+	"raytrace":         {"raytrace", "Ray Tracing"},
+	"ray tracing":      {"raytrace", "Ray Tracing"},
+}
+
+func (s *Server) parseRender(r *http.Request) (*renderRequest, error) {
+	q := r.URL.Query()
+	cfg := s.opts.Config
+	rr := &renderRequest{
+		alg:    "volren",
+		size:   cfg.PhaseSize,
+		images: cfg.Images,
+		w:      cfg.ImageSize,
+		h:      cfg.ImageSize,
+	}
+	if v := q.Get("alg"); v != "" {
+		names, ok := algNames[normalize(v)]
+		if !ok {
+			return nil, fmt.Errorf("alg must be volren or raytrace, got %q", v)
+		}
+		rr.alg = names[0]
+	}
+	rr.name = map[string]string{"volren": "Volume Rendering", "raytrace": "Ray Tracing"}[rr.alg]
+	var err error
+	if rr.size, err = intParam(q.Get("size"), rr.size, 8, s.opts.MaxSize); err != nil {
+		return nil, fmt.Errorf("size: %w", err)
+	}
+	if rr.images, err = intParam(q.Get("images"), rr.images, 1, 4096); err != nil {
+		return nil, fmt.Errorf("images: %w", err)
+	}
+	if rr.frame, err = intParam(q.Get("frame"), 0, 0, rr.images-1); err != nil {
+		return nil, fmt.Errorf("frame: %w", err)
+	}
+	if rr.w, err = intParam(q.Get("width"), rr.w, 8, 2048); err != nil {
+		return nil, fmt.Errorf("width: %w", err)
+	}
+	if rr.h, err = intParam(q.Get("height"), rr.h, 8, 2048); err != nil {
+		return nil, fmt.Errorf("height: %w", err)
+	}
+	if v := q.Get("transparent"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 || t > 1 || math.IsNaN(t) {
+			return nil, fmt.Errorf("transparent must be in [0,1], got %q", v)
+		}
+		rr.transparent = t
+	}
+	return rr, nil
+}
+
+func normalize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func intParam(v string, def, lo, hi int) (int, error) {
+	if v == "" {
+		if def < lo {
+			def = lo
+		}
+		if def > hi {
+			def = hi
+		}
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("%d outside [%d, %d]", n, lo, hi)
+	}
+	return n, nil
+}
+
+// dataset returns the (cached, single-flight) dataset at size.
+func (s *Server) dataset(size int) (*mesh.UniformGrid, error) {
+	v, _, err := s.cache.GetOrBuild(fmt.Sprintf("dataset/%d", size), func() (any, error) {
+		s.cfgMu.Lock()
+		defer s.cfgMu.Unlock()
+		return s.opts.Config.Dataset(size)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*mesh.UniformGrid), nil
+}
+
+// volrenEntry is the cached derived structure behind volren requests:
+// the grid, its resolved point field, the transfer function, and the
+// prepared (immutable) Renderer — macrocell grid, opacity bounds, LUT.
+type volrenEntry struct {
+	g     *mesh.UniformGrid
+	field []float64
+	tf    render.TransferFunction
+	r     *volren.Renderer
+}
+
+// raytraceEntry is the cached derived structure behind raytrace
+// requests: external faces plus the SAH BVH scene.
+type raytraceEntry struct {
+	g     *mesh.UniformGrid
+	scene *raytrace.Scene
+}
+
+// structureKey is the cache key for a request's derived structure:
+// dataset identity (size stands in for (dataset, timestep) — the hydro
+// run's SimTime is fixed per daemon) plus every transfer-function
+// parameter that changes the built tables.
+func (rr *renderRequest) structureKey() string {
+	if rr.alg == "volren" {
+		return fmt.Sprintf("volren/%d/tr%g", rr.size, rr.transparent)
+	}
+	return fmt.Sprintf("raytrace/%d", rr.size)
+}
+
+// structure returns (building on first use) the derived structure for a
+// render request. hit reports whether this request found it already
+// built (or joined an in-flight build).
+func (s *Server) structure(rr *renderRequest) (any, bool, error) {
+	return s.cache.GetOrBuild(rr.structureKey(), func() (any, error) {
+		g, err := s.dataset(rr.size)
+		if err != nil {
+			return nil, err
+		}
+		ex := viz.NewExec(s.pool)
+		switch rr.alg {
+		case "volren":
+			field := g.PointField("energy")
+			if field == nil {
+				if field, err = g.CellToPoint("energy"); err != nil {
+					return nil, err
+				}
+			}
+			lo, hi := mesh.FieldRange(field)
+			tf := render.TransferFunction{
+				Norm:         render.Normalizer{Lo: lo, Hi: hi},
+				OpacityScale: 0.25,
+				Transparent:  rr.transparent,
+			}
+			r := volren.NewRenderer(g, field, tf, ex).Prepare()
+			return &volrenEntry{g: g, field: field, tf: tf, r: r}, nil
+		case "raytrace":
+			scene, err := raytrace.GatherScene(g, "energy", ex)
+			if err != nil {
+				return nil, err
+			}
+			return &raytraceEntry{g: g, scene: scene}, nil
+		}
+		return nil, fmt.Errorf("unknown algorithm %q", rr.alg)
+	})
+}
+
+// renderFrame renders one orbit frame through a cached structure,
+// returning the image and the run's operation profile (for the demand
+// feedback).
+func (s *Server) renderFrame(st any, rr *renderRequest) (*render.Image, cpu.Execution) {
+	az := 2 * math.Pi * float64(rr.frame) / float64(rr.images)
+	ex := viz.NewExec(s.pool)
+	var im *render.Image
+	switch e := st.(type) {
+	case *volrenEntry:
+		cam := render.OrbitCamera(e.g.Bounds(), az, 0.35, 2.0)
+		im = e.r.RenderImageInto(nil, cam, rr.w, rr.h, ex)
+	case *raytraceEntry:
+		cam := render.OrbitCamera(e.g.Bounds(), az, 0.35, 2.0)
+		im = e.scene.RenderInto(nil, cam, rr.w, rr.h, ex)
+	}
+	return im, cpu.Analyze(s.spec, ex.Drain(), 0)
+}
+
+// estimateKey identifies an (algorithm, size) workload for the demand
+// feedback maps.
+func estimateKey(name string, size int) string { return fmt.Sprintf("%s/%d", name, size) }
+
+// classOf returns the admission class for an algorithm: the measured
+// classification when a sweep cell has run, otherwise the paper's
+// Table II result — volume rendering and particle advection are power
+// sensitive, everything else offers power opportunity.
+func (s *Server) classOf(name string, size int) core.Class {
+	if v, ok := s.classes.Load(estimateKey(name, size)); ok {
+		return v.(core.Class)
+	}
+	switch name {
+	case "Volume Rendering", "Particle Advection":
+		return core.PowerSensitive
+	}
+	return core.PowerOpportunity
+}
+
+// demandWatts returns the admission charge estimate for an (algorithm,
+// size): the measured modeled demand once any request of that workload
+// completed, the spec TDP before that (conservative — the first request
+// of a workload reserves a full socket).
+func (s *Server) demandWatts(name string, size int) float64 {
+	if v, ok := s.estimates.Load(estimateKey(name, size)); ok {
+		return v.(float64)
+	}
+	return s.spec.TDPWatts
+}
+
+// noteDemand feeds a completed request's modeled demand power back into
+// the admission estimate.
+func (s *Server) noteDemand(name string, size int, exec cpu.Execution) {
+	if exec.Instructions == 0 {
+		return
+	}
+	s.estimates.Store(estimateKey(name, size), exec.Demand().PowerWatts)
+}
+
+// admit runs the admission policy for one request, recording the admit
+// and queue-wait spans. On overload it writes 429 + Retry-After and
+// returns nil.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, track int, name string, size int) *Grant {
+	class := s.classOf(name, size)
+	demand := s.demandWatts(name, size)
+	admitStart := s.tr.Begin()
+	g, wait, err := s.adm.Admit(r.Context(), class, demand)
+	s.span(track, "serve.admit", admitStart)
+	if wait > 0 && track >= 0 {
+		end := s.tr.Now()
+		s.tr.Record(track, "serve.wait", end-int64(wait), int64(wait))
+	}
+	if err != nil {
+		var ov *OverloadError
+		if errors.As(err, &ov) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ov.RetryAfter.Seconds()))))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return nil
+		}
+		// Client went away while parked.
+		http.Error(w, err.Error(), 499)
+		return nil
+	}
+	w.Header().Set("X-Serve-Class", class.String())
+	w.Header().Set("X-Serve-Charge-Watts", fmt.Sprintf("%.1f", g.Watts()))
+	w.Header().Set("X-Serve-Queue-Wait-Ms", fmt.Sprintf("%.1f", wait.Seconds()*1e3))
+	return g
+}
+
+// handleRender serves GET /render: admit under the power budget, fetch
+// or build the derived structure, render one orbit frame, encode it as
+// PNG. Every stage lands as a span on the request's telemetry lane.
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	track, done := s.lane()
+	defer done()
+	reqStart := s.tr.Begin()
+	defer s.span(track, "serve./render", reqStart)
+
+	rr, err := s.parseRender(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g := s.admit(w, r, track, rr.name, rr.size)
+	if g == nil {
+		return
+	}
+	defer g.Release()
+
+	buildStart := s.tr.Begin()
+	st, hit, err := s.structure(rr)
+	if hit {
+		s.span(track, "serve.hit", buildStart)
+	} else {
+		s.span(track, "serve.build", buildStart)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	renderStart := s.tr.Begin()
+	im, exec := s.renderFrame(st, rr)
+	s.span(track, "serve.render", renderStart)
+	s.noteDemand(rr.name, rr.size, exec)
+
+	encodeStart := s.tr.Begin()
+	var buf bytes.Buffer
+	if err := im.WritePNG(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.span(track, "serve.encode", encodeStart)
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	w.Header().Set("X-Serve-Cache", cacheState)
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// sweepResponse is the JSON body of /sweep: one (algorithm, size) cell
+// of the study matrix, modeled under every configured cap.
+type sweepResponse struct {
+	Name        string        `json:"name"`
+	Size        int           `json:"size"`
+	Elements    int64         `json:"elements"`
+	DemandWatts float64       `json:"demand_watts"`
+	Class       string        `json:"class"`
+	WallSec     float64       `json:"wall_sec"`
+	Caps        []sweepCapRow `json:"caps"`
+}
+
+type sweepCapRow struct {
+	CapWatts    float64 `json:"cap_watts"`
+	TimeSec     float64 `json:"time_sec"`
+	PowerWatts  float64 `json:"power_watts"`
+	EnergyJ     float64 `json:"energy_j"`
+	IPC         float64 `json:"ipc"`
+	LLCMissRate float64 `json:"llc_miss_rate"`
+	Throttled   bool    `json:"throttled"`
+}
+
+// handleSweep serves GET /sweep: execute (or fetch) one sweep cell —
+// any of the paper's algorithms at any size — and return its cap table.
+// The cell is built single-flight and cached, so a sweep served to
+// thousands of clients costs one instrumented execution.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	track, done := s.lane()
+	defer done()
+	reqStart := s.tr.Begin()
+	defer s.span(track, "serve./sweep", reqStart)
+
+	q := r.URL.Query()
+	name := q.Get("alg")
+	if name == "" {
+		name = "Contour"
+	}
+	if n, ok := algNames[normalize(name)]; ok {
+		name = n[1]
+	}
+	s.cfgMu.Lock()
+	f, err := s.opts.Config.FilterByName(name)
+	s.cfgMu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, err := intParam(q.Get("size"), s.opts.Config.PhaseSize, 8, s.opts.MaxSize)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("size: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	g := s.admit(w, r, track, name, size)
+	if g == nil {
+		return
+	}
+	defer g.Release()
+
+	buildStart := s.tr.Begin()
+	v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("sweep/%s/%d", name, size), func() (any, error) {
+		// Warm the dataset through the single-flight cache first, so a
+		// concurrent /render of the same size shares the build.
+		if _, err := s.dataset(size); err != nil {
+			return nil, err
+		}
+		s.cfgMu.Lock()
+		defer s.cfgMu.Unlock()
+		return s.opts.Config.Run(f, size)
+	})
+	if hit {
+		s.span(track, "serve.hit", buildStart)
+	} else {
+		s.span(track, "serve.build", buildStart)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	run := v.(*harness.AlgoRun)
+	// Feed the measured demand and classification back into admission.
+	s.estimates.Store(estimateKey(name, size), run.Exec.Demand().PowerWatts)
+	cls := core.Classify(run.Base, run.ByCap)
+	s.classes.Store(estimateKey(name, size), cls)
+
+	resp := sweepResponse{
+		Name:        run.Name,
+		Size:        run.Size,
+		Elements:    run.Elements,
+		DemandWatts: run.Exec.Demand().PowerWatts,
+		Class:       cls.String(),
+		WallSec:     run.WallSec,
+	}
+	for _, cr := range run.ByCap {
+		resp.Caps = append(resp.Caps, sweepCapRow{
+			CapWatts:    cr.CapWatts,
+			TimeSec:     cr.TimeSec,
+			PowerWatts:  cr.PowerWatts,
+			EnergyJ:     cr.EnergyJ,
+			IPC:         cr.IPC,
+			LLCMissRate: cr.LLCMissRate,
+			Throttled:   cr.Throttled,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse is the JSON body of /stats.
+type statsResponse struct {
+	UptimeSec float64        `json:"uptime_sec"`
+	Requests  int64          `json:"requests"`
+	Rejected  int64          `json:"rejected"`
+	Admission AdmissionStats `json:"admission"`
+	Cache     CacheStats     `json:"cache"`
+	Pool      poolStats      `json:"pool"`
+}
+
+type poolStats struct {
+	Workers     int   `json:"workers"`
+	Launches    int64 `json:"launches"`
+	ActiveLoops int   `json:"active_loops"`
+	Tasks       int64 `json:"tasks"`
+	Stolen      int64 `json:"stolen"`
+	IdleNs      int64 `json:"idle_ns"`
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pool.Stats()
+	tot := ps.Totals()
+	writeJSON(w, statsResponse{
+		UptimeSec: time.Since(s.t0).Seconds(),
+		Requests:  s.requests.Load(),
+		Rejected:  s.rejected.Load(),
+		Admission: s.adm.Stats(),
+		Cache:     s.cache.Stats(),
+		Pool: poolStats{
+			Workers:     s.pool.Workers(),
+			Launches:    ps.Launches,
+			ActiveLoops: ps.ActiveLoops,
+			Tasks:       tot.Tasks,
+			Stolen:      tot.Stolen,
+			IdleNs:      tot.IdleNs,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Admission exposes the admission queue (benchmarks read its stats).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Cache exposes the derived-structure cache (tests read its stats).
+func (s *Server) Cache() *Cache { return s.cache }

@@ -1,0 +1,39 @@
+package telemetry
+
+import "testing"
+
+// TestNewServing checks the request-lane tracer layout: pipeline track,
+// one track per worker, then named request lanes.
+func TestNewServing(t *testing.T) {
+	const workers, lanes = 4, 3
+	tr := NewServing(workers, lanes)
+	if got, want := tr.Tracks(), 1+workers+lanes; got != want {
+		t.Fatalf("Tracks() = %d, want %d", got, want)
+	}
+	for l := 0; l < lanes; l++ {
+		track := LaneTrack(workers, l)
+		if track != workers+1+l {
+			t.Errorf("LaneTrack(%d, %d) = %d, want %d", workers, l, track, workers+1+l)
+		}
+		if name := tr.TrackName(track); name == "" {
+			t.Errorf("lane %d unnamed", l)
+		}
+	}
+	// Lanes must not collide with the worker tracks.
+	if LaneTrack(workers, 0) <= WorkerTrack(workers-1) {
+		t.Error("first lane track collides with last worker track")
+	}
+
+	// Spans land on lane tracks like any other.
+	start := tr.Begin()
+	tr.End(LaneTrack(workers, 1), "serve.render", start)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Track != int32(LaneTrack(workers, 1)) {
+		t.Fatalf("spans = %+v", spans)
+	}
+
+	// Degenerate lane counts clamp instead of panicking.
+	if tr := NewServing(2, -5); tr.Tracks() != 3 {
+		t.Errorf("negative lanes: Tracks() = %d, want 3", tr.Tracks())
+	}
+}

@@ -107,6 +107,29 @@ func NewWithCapacity(workers, capacity int) *Tracer {
 	return t
 }
 
+// LaneTrack maps a serving-daemon request lane to its track index, in a
+// tracer built by NewServing(workers, lanes): lanes sit after the
+// pipeline track and the workers' tracks, so pool chunk spans and
+// per-request spans coexist in one trace.
+func LaneTrack(workers, lane int) int { return workers + 1 + lane }
+
+// NewServing returns a tracer laid out for the serving daemon: the
+// pipeline track, one track per pool worker, and `lanes` request lanes
+// (named "request lane N") on which per-request spans
+// (admit/wait/build/render/encode) are recorded. Each in-flight request
+// leases one lane, so containment-on-a-track keeps a request's spans
+// nested under its own request span.
+func NewServing(workers, lanes int) *Tracer {
+	if lanes < 0 {
+		lanes = 0
+	}
+	t := New(workers + lanes)
+	for l := 0; l < lanes; l++ {
+		t.SetTrackName(LaneTrack(workers, l), fmt.Sprintf("request lane %d", l))
+	}
+	return t
+}
+
 // Tracks returns the number of tracks (pipeline + workers).
 func (t *Tracer) Tracks() int {
 	if t == nil {

@@ -63,6 +63,15 @@ func (r *Renderer) amaxTable() []float64 {
 	return r.amax
 }
 
+// Prepare forces every lazily-built table (the per-brick opacity bounds)
+// so the Renderer becomes immutable and safe to share read-only across
+// concurrent renders — the contract the serving daemon's derived-
+// structure cache relies on. Returns r for chaining.
+func (r *Renderer) Prepare() *Renderer {
+	r.amaxTable()
+	return r
+}
+
 // RenderSegmentsInto volume-renders one view into premultiplied RGBA
 // (alpha = accumulated segment opacity, matching the reference sampler's
 // contract for the sort-last compositor), reusing im when it fits.

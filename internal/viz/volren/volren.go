@@ -48,6 +48,14 @@ type Options struct {
 	// its orbit azimuth — the hook the image-database (Cinema-style)
 	// writer uses. Images are otherwise discarded after accounting.
 	Sink func(index int, azimuthRad float64, im *render.Image)
+	// Renderer, when non-nil, is a prebuilt acceleration state (macrocell
+	// grid + opacity bounds + LUT) injected by a caller that shares one
+	// across many runs — the serving daemon's derived-structure cache.
+	// Run then skips the per-call build entirely; the injected Renderer
+	// must have been built (NewRenderer + Prepare) over the same grid,
+	// field, and transfer-function parameters this filter is configured
+	// with. Ignored when Reference is set.
+	Renderer *Renderer
 }
 
 // Filter is the volume-rendering workload.
@@ -154,10 +162,15 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	}
 	b := g.Bounds()
 	// The acceleration state (macrocell grid + LUT) is built once and
-	// amortized over the whole 50-image orbit.
+	// amortized over the whole 50-image orbit — or skipped entirely when
+	// a cached Renderer is injected (Options.Renderer).
 	var r *Renderer
 	if !f.opts.Reference {
-		r = NewRenderer(g, field, tf, ex)
+		if f.opts.Renderer != nil {
+			r = f.opts.Renderer
+		} else {
+			r = NewRenderer(g, field, tf, ex)
+		}
 	}
 	renderInto := func(im *render.Image, cam render.Camera) *render.Image {
 		if r != nil {
