@@ -21,6 +21,10 @@
 #                  (cold vs warm frame latency through the derived-
 #                  structure cache; admitted request throughput with the
 #                  power-budget admission queue on vs off), -benchmem
+#   make bench-dpp - the data-parallel-primitive backend benchmarks
+#                  recorded in BENCH_PR8.json (traditional vs DPP
+#                  contour/threshold at 32^3/64^3/128^3, plus the scan
+#                  primitive's steady-state allocation check), -benchmem
 #   make profile - run the vizpower profile subcommand at demonstration
 #                  scale into out/profile (trace.json + summary.txt),
 #                  validating the exported JSON
@@ -34,9 +38,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/dpp ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve
 
-.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve profile serve
+.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve bench-dpp profile serve
 
 check: vet build test race
 
@@ -78,6 +82,14 @@ bench-serve:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkServe' \
 		-benchtime 5x
+
+bench-dpp:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkDPP(Contour|Threshold)' \
+		-benchtime 3x
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkDPPScan' \
+		-benchtime 100x
 
 # Run the telemetry subcommand at demonstration scale and confirm the
 # exported trace parses as Chrome trace-event JSON (the CLI re-validates

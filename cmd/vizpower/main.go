@@ -37,6 +37,9 @@
 // -progress streams per-run log lines to stderr. Any command accepts
 // -trace FILE (write a Chrome trace-event JSON of the run's pipeline
 // and pool activity) and -cpuprofile FILE (write a pprof CPU profile).
+// -backend trad|dpp selects the contour/threshold kernel formulation
+// (traditional scratch-mesh vs data-parallel primitives); `all` runs
+// both and reports the per-backend classification.
 package main
 
 import (
@@ -123,6 +126,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		extended  = fs.Bool("extended", false, "include the extension filters (classify)")
 		ranks     = fs.String("ranks", "", "comma-separated fabric sizes for distributed advection (advect, profile; default 1,2,4,8)")
 		adaptive  = fs.Bool("adaptive", false, "advect with the adaptive BS23 integrator instead of fixed-step RK4 (advect)")
+		backend   = fs.String("backend", "trad", "geometry kernel formulation for contour/threshold: trad or dpp")
 		traceF    = fs.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (load in Perfetto)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of this run to FILE")
 	)
@@ -168,6 +172,11 @@ func parseFlags(cmd string, args []string) (*options, error) {
 	if *iso > 0 {
 		cfg.Isovalues = *iso
 	}
+	b, err := viz.ParseBackend(*backend)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Backend = b
 	// distRanks marks an explicit -ranks request: profile then also runs
 	// a distributed advection pass under the tracer at the largest size.
 	distRanks := 0
@@ -971,6 +980,14 @@ func allCmd(c *harness.Config, opt *options) error {
 	if _, err := c.AdvectScaling(c.PhaseSize); err != nil {
 		skip("advect scaling", err)
 	}
+	// The backend comparison runs contour and threshold under both the
+	// traditional and DPP formulations, feeding the report's "DPP
+	// backend" section (per-backend classification).
+	if pairs, err := c.BackendCompare(c.PhaseSize); err != nil {
+		skip("backend compare", err)
+	} else if err := write("backends.txt", harness.BackendTable(pairs)); err != nil {
+		return err
+	}
 	// The self-contained campaign report: tables, classification, and
 	// executable claim checks in one document. The claims need the full
 	// Phase 2 set, so a degraded sweep skips them rather than aborting.
@@ -1070,5 +1087,7 @@ commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           serve [-addr HOST:PORT -budget W -queue N -out DIR] all
 run "vizpower <command> -h" for flags; add -quick for a fast demonstration
 global: -trace FILE writes a Perfetto-loadable execution trace of any
-command; -cpuprofile FILE writes a pprof CPU profile`)
+command; -cpuprofile FILE writes a pprof CPU profile; -backend trad|dpp
+selects the contour/threshold formulation (verify, profile, classify,
+all; "all" additionally compares both backends in report.md)`)
 }

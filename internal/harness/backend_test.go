@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/viz"
+)
+
+// The run cache must key backend-capable cells per formulation: the same
+// (algorithm, size) executed under both backends yields two distinct
+// cached runs, and re-running either backend hits its cache.
+func TestBackendRunsCachedPerFormulation(t *testing.T) {
+	c := tinyConfig()
+	pairs, err := c.BackendCompare(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d backend pairs, want 2 (contour, threshold)", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Trad == p.DPP {
+			t.Errorf("%s: traditional and DPP share one cached run", p.Name)
+		}
+		if p.Trad.Backend != viz.Traditional || p.DPP.Backend != viz.DPP {
+			t.Errorf("%s: backends recorded as %v/%v", p.Name, p.Trad.Backend, p.DPP.Backend)
+		}
+		if p.Trad.Elements != p.DPP.Elements {
+			t.Errorf("%s: element counts differ: %d vs %d", p.Name, p.Trad.Elements, p.DPP.Elements)
+		}
+	}
+	again, err := c.BackendCompare(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if again[i].Trad != pairs[i].Trad || again[i].DPP != pairs[i].DPP {
+			t.Errorf("%s: BackendCompare re-executed a cached cell", pairs[i].Name)
+		}
+	}
+}
+
+// The report must gain the DPP backend section, with one classification
+// per formulation, once both backends have run.
+func TestReportHasBackendSection(t *testing.T) {
+	c := tinyConfig()
+	if _, err := c.BackendCompare(8); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := c.RunAll(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteReport(&b, runs, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.String()
+	for _, want := range []string{"## DPP backend", "trad", "dpp"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(rep, "keeps the class") && !strings.Contains(rep, "CHANGES the class") {
+		t.Error("report missing the per-algorithm class verdict")
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	// Ranks are the fabric sizes the distributed-advection scaling
 	// sweep (AdvectScaling) runs, ascending. Default {1, 2, 4, 8}.
 	Ranks []int
+	// Backend selects the formulation of the backend-capable geometry
+	// kernels (contour, threshold): viz.Traditional (default) or
+	// viz.DPP. Runs are cached per backend, so one config can sweep
+	// both (see BackendCompare).
+	Backend viz.Backend
 
 	// Workload knobs (paper values by default).
 	Images        int // ray tracing / volume rendering image count (50)
@@ -237,10 +242,10 @@ func (c *Config) Dataset(size int) (*mesh.UniformGrid, error) {
 func (c *Config) Filters() []viz.Filter {
 	c.Defaults()
 	return []viz.Filter{
-		contour.New(contour.Options{Field: "energy", NumIsovalues: c.Isovalues}),
+		contour.New(contour.Options{Field: "energy", NumIsovalues: c.Isovalues, Backend: c.Backend}),
 		clip.New(clip.Options{Field: "energy"}),
 		isovolume.New(isovolume.Options{Field: "energy"}),
-		threshold.New(threshold.Options{Field: "energy"}),
+		threshold.New(threshold.Options{Field: "energy", Backend: c.Backend}),
 		slice.New(slice.Options{Field: "energy"}),
 		raytrace.New(raytrace.Options{Field: "energy", Images: c.Images, Width: c.ImageSize, Height: c.ImageSize}),
 		advect.New(advect.Options{Vector: "velocity", NumParticles: c.Particles, NumSteps: c.ParticleSteps}),
@@ -283,8 +288,11 @@ func (c *Config) RunAllExtended(size int) ([]*AlgoRun, error) {
 // instrumented profile, its processor-model analysis, and the modeled
 // result under every cap in Config.Caps (same order).
 type AlgoRun struct {
-	Name     string
-	Size     int
+	Name string
+	Size int
+	// Backend is the kernel formulation that produced the run:
+	// viz.Traditional for every filter without a backend choice.
+	Backend  viz.Backend
 	Elements int64
 	Profile  ops.Profile
 	Exec     cpu.Execution
@@ -307,6 +315,11 @@ type AlgoRun struct {
 func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 	c.Defaults()
 	key := fmt.Sprintf("%s/%d", f.Name(), size)
+	if filterBackend(f) == viz.DPP {
+		// Backend-capable filters cache per formulation, so one config
+		// can hold both a traditional and a DPP run of the same cell.
+		key += "/dpp"
+	}
 	if r, ok := c.runs[key]; ok {
 		return r, nil
 	}
@@ -344,9 +357,15 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 }
 
 // totalCells is the executed-cell denominator of the heartbeat: one
-// cell per (algorithm, size) pair, each modeling every cap.
+// cell per (algorithm, size) pair, each modeling every cap. Extra
+// cells beyond the base matrix (the DPP backend comparison) keep the
+// counter monotone instead of overflowing the denominator.
 func (c *Config) totalCells() int {
-	return len(c.Filters()) * len(c.Sizes)
+	n := len(c.Filters()) * len(c.Sizes)
+	if c.cellsDone > n {
+		n = c.cellsDone
+	}
+	return n
 }
 
 // heartbeat writes one sweep progress line to the injectable Heartbeat
@@ -386,6 +405,7 @@ func (c *Config) runAttempt(f viz.Filter, size, attempt int) (*AlgoRun, error) {
 	run := &AlgoRun{
 		Name:     f.Name(),
 		Size:     size,
+		Backend:  filterBackend(f),
 		Elements: res.Elements,
 		Profile:  res.Profile,
 		Exec:     cpu.Analyze(c.Spec, res.Profile, 0),

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/viz"
 )
 
 // WriteReport assembles a self-contained markdown report of one full
@@ -106,11 +107,31 @@ func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Clai
 		fmt.Fprintf(&b, "| %s | %.1f | %.2f | %.3f | %s | %.2fX | %.2fx |\n",
 			r.Name, d.PowerWatts, d.IPC, d.LLCMissRate, slowStr, tr.Tratio, eRatio)
 	}
+	c.writeBackends(&b)
 	c.writeCellCost(&b)
 	c.writeAdvectDist(&b)
 	b.WriteString("\nSee EXPERIMENTS.md for the paper-versus-measured discussion.\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeBackends appends the DPP-backend comparison section when the
+// campaign executed both formulations of the backend-capable kernels
+// (see BackendCompare): per-backend demand metrics and power class,
+// answering whether the DPP formulation changes the classification.
+func (c *Config) writeBackends(b *strings.Builder) {
+	pairs := c.cachedBackendPairs()
+	if len(pairs) == 0 {
+		return
+	}
+	b.WriteString("\n## DPP backend\n\n")
+	b.WriteString("The contour and threshold kernels also ran under the\n")
+	b.WriteString("data-parallel-primitive formulation (count/flag -> scan -> emit on\n")
+	b.WriteString("internal/dpp; Bethel et al., arXiv 2010.02361), bit-identical in output\n")
+	b.WriteString("to the traditional scratch-mesh backend. Each formulation is classified\n")
+	b.WriteString("independently:\n\n```\n")
+	b.WriteString(BackendTable(pairs))
+	b.WriteString("```\n")
 }
 
 // writeCellCost appends the measured-cost attribution section: what
@@ -154,7 +175,11 @@ func (c *Config) writeCellCost(b *strings.Builder) {
 		b.WriteString("| cell | wall (s) | % of sweep |\n|---|---|---|\n")
 	}
 	for _, r := range cells {
-		fmt.Fprintf(b, "| %s %d^3 | %.3f | %.1f%% |", r.Name, r.Size, r.WallSec, 100*r.WallSec/total)
+		name := r.Name
+		if r.Backend == viz.DPP {
+			name += " (dpp)"
+		}
+		fmt.Fprintf(b, "| %s %d^3 | %.3f | %.1f%% |", name, r.Size, r.WallSec, 100*r.WallSec/total)
 		if withStages {
 			var parts []string
 			for i, st := range r.Stages {

@@ -165,17 +165,8 @@ func DemandTable(runs []*AlgoRun) string {
 		"Algorithm", "Demand(W)", "IPC", "LLC miss", "1st 10% slow", "Class")
 	for _, run := range runs {
 		d := run.Exec.Demand()
-		slow := metrics.FirstSlowdownCap(run.Base, run.ByCap)
-		class := "power opportunity"
-		if slow >= 70 {
-			class = "power sensitive"
-		}
-		slowStr := "none"
-		if slow > 0 {
-			slowStr = fmt.Sprintf("%.0fW", slow)
-		}
 		fmt.Fprintf(&b, "%-22s %10.1f %8.2f %10.3f %14s  %s\n",
-			run.Name, d.PowerWatts, d.IPC, d.LLCMissRate, slowStr, class)
+			run.Name, d.PowerWatts, d.IPC, d.LLCMissRate, FirstSlowdownString(run), Classify(run))
 	}
 	return b.String()
 }

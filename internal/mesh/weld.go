@@ -1,6 +1,9 @@
 package mesh
 
-import "repro/internal/par"
+import (
+	"repro/internal/dpp"
+	"repro/internal/par"
+)
 
 // WeldPoints merges coincident points of an unstructured mesh (within tol)
 // and rewrites the connectivity, returning the welded mesh. Filters that
@@ -108,36 +111,28 @@ func WeldPointsPool(m *UnstructuredMesh, tol float64, pool *par.Pool) *Unstructu
 		}
 	})
 
-	// Pass 3: blocked prefix sum over representatives to assign compact
-	// output indices, then scatter points and scalars in parallel.
-	const blk = 8192
-	nb := (n + blk - 1) / blk
-	counts := make([]int32, nb+1)
-	pool.ForEach(nb, func(b, _ int) {
-		lo, hi := b*blk, min((b+1)*blk, n)
-		var c int32
+	// Pass 3: flag representatives, exclusive-scan the flags to assign
+	// compact output indices (dpp.ScanExclusive is the generalization of
+	// the blocked prefix sum this pass used to hand-roll), then scatter
+	// points and scalars in parallel through the scanned indices.
+	pool.For(n, 0, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			if rep[i] == int32(i) {
-				c++
+				newID[i] = 1
+			} else {
+				newID[i] = 0
 			}
 		}
-		counts[b+1] = c
 	})
-	for b := 0; b < nb; b++ {
-		counts[b+1] += counts[b]
-	}
-	unique := int(counts[nb])
+	unique := int(dpp.ScanExclusive(pool, newID, newID))
 	out.Points = make([]Vec3, unique)
 	out.Scalars = make([]float64, unique)
-	pool.ForEach(nb, func(b, _ int) {
-		lo, hi := b*blk, min((b+1)*blk, n)
-		id := counts[b]
+	pool.For(n, 0, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			if rep[i] == int32(i) {
-				newID[i] = id
+				id := newID[i]
 				out.Points[id] = m.Points[i]
 				out.Scalars[id] = m.Scalars[i]
-				id++
 			}
 		}
 	})

@@ -1,0 +1,46 @@
+package viz
+
+import "fmt"
+
+// Backend selects between the two formulations of a geometry kernel the
+// study measures: the traditional scratch-mesh implementation and the
+// data-parallel-primitive (scan/gather/scatter) formulation built on
+// internal/dpp. Bethel et al. (arXiv 2010.02361) compare exactly these
+// two formulations of the kernels this repository reproduces; running
+// both through the power sweep asks whether the formulation changes an
+// algorithm's power-opportunity vs power-sensitive class.
+type Backend int
+
+const (
+	// Traditional is the scratch-mesh implementation: per-worker scratch
+	// meshes with two-phase merge collectors.
+	Traditional Backend = iota
+	// DPP is the data-parallel-primitive formulation: count → scan →
+	// emit for contour, flag → compact for threshold.
+	DPP
+)
+
+// String returns the backend's flag spelling ("trad" or "dpp").
+func (b Backend) String() string {
+	if b == DPP {
+		return "dpp"
+	}
+	return "trad"
+}
+
+// ParseBackend parses the -backend flag values "trad" and "dpp".
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "trad", "traditional":
+		return Traditional, nil
+	case "dpp":
+		return DPP, nil
+	}
+	return Traditional, fmt.Errorf("unknown backend %q (want trad or dpp)", s)
+}
+
+// BackendProvider is implemented by filters that offer both formulations.
+// The harness uses it to key cached runs and report rows per backend.
+type BackendProvider interface {
+	Backend() Backend
+}

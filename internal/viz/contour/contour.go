@@ -29,6 +29,10 @@ type Options struct {
 	// NumIsovalues is used when Isovalues is empty. Default 10 (the
 	// paper's configuration).
 	NumIsovalues int
+	// Backend selects the traditional scratch-mesh implementation
+	// (default) or the data-parallel-primitive count → scan → emit
+	// formulation. Both produce bit-identical output.
+	Backend viz.Backend
 }
 
 // Filter is the contour algorithm.
@@ -47,6 +51,9 @@ func New(opts Options) *Filter {
 
 // Name implements viz.Filter.
 func (f *Filter) Name() string { return "Contour" }
+
+// Backend implements viz.BackendProvider.
+func (f *Filter) Backend() viz.Backend { return f.opts.Backend }
 
 // PointField returns the named point field of g, recentering a cell field
 // of the same name if necessary.
@@ -83,7 +90,11 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 	}
 	out := &mesh.TriMesh{}
 	for _, iso := range isos {
-		ContourField(g, field, field, iso, ex, out)
+		if f.opts.Backend == viz.DPP {
+			ContourFieldDPP(g, field, field, iso, ex, out)
+		} else {
+			ContourField(g, field, field, iso, ex, out)
+		}
 	}
 	res := &viz.Result{
 		Profile:  ex.Drain(),

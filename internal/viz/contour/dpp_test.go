@@ -1,0 +1,72 @@
+package contour
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+// TestContourDPPBitIdentical is the backend golden test: the DPP
+// count → scan → emit formulation must reproduce the traditional
+// scratch-mesh output exactly — same points, same scalars, same
+// triangle ordering — across grid sizes and worker counts.
+func TestContourDPPBitIdentical(t *testing.T) {
+	for _, n := range []int{8, 12, 17} {
+		g := sphereGrid(t, n)
+		refPool := par.NewPool(2)
+		ref, err := New(Options{Field: "r"}).Run(g, viz.NewExec(refPool))
+		refPool.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			pool := par.NewPool(workers)
+			got, err := New(Options{Field: "r", Backend: viz.DPP}).Run(g, viz.NewExec(pool))
+			pool.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := ref.Tris, got.Tris
+			if len(a.Points) != len(b.Points) || len(a.Tris) != len(b.Tris) {
+				t.Fatalf("n=%d workers=%d: dpp %d pts %d tris, trad %d pts %d tris",
+					n, workers, len(b.Points), len(b.Tris), len(a.Points), len(a.Tris))
+			}
+			for i := range a.Points {
+				if a.Points[i] != b.Points[i] || a.Scalars[i] != b.Scalars[i] {
+					t.Fatalf("n=%d workers=%d: point %d differs: %v/%v vs %v/%v",
+						n, workers, i, b.Points[i], b.Scalars[i], a.Points[i], a.Scalars[i])
+				}
+			}
+			for i := range a.Tris {
+				if a.Tris[i] != b.Tris[i] {
+					t.Fatalf("n=%d workers=%d: tri %d = %v, want %v", n, workers, i, b.Tris[i], a.Tris[i])
+				}
+			}
+			if ref.Elements != got.Elements {
+				t.Fatalf("n=%d workers=%d: elements %d != %d", n, workers, got.Elements, ref.Elements)
+			}
+		}
+	}
+}
+
+// The DPP backend's operation profile, like the traditional one, must
+// depend only on the input — not on the worker count — so the harness
+// can cache and compare runs across core-count configurations.
+func TestContourDPPProfileDeterministicAcrossWorkers(t *testing.T) {
+	g := sphereGrid(t, 10)
+	var ref *viz.Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		pool := par.NewPool(workers)
+		res, err := New(Options{Field: "r", Backend: viz.DPP}).Run(g, viz.NewExec(pool))
+		pool.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+		} else if res.Profile != ref.Profile {
+			t.Fatalf("workers=%d: profile %+v != %+v", workers, res.Profile, ref.Profile)
+		}
+	}
+}

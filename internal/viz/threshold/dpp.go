@@ -1,0 +1,191 @@
+package threshold
+
+import (
+	"repro/internal/dpp"
+	"repro/internal/mesh"
+	"repro/internal/ops"
+	"repro/internal/par"
+	"repro/internal/viz"
+)
+
+// This file is the data-parallel-primitive formulation of the threshold
+// kernel: a flag pass marks the in-range cells, dpp.Compact (flag →
+// scan → scatter) produces the compacted survivor list, and two
+// chunk-parallel passes size and emit the output mesh directly — no
+// scratch meshes, no merge. Per Bethel et al. (arXiv 2010.02361) this
+// is how a DPP library (VTK-m/Thrust) expresses threshold.
+//
+// Bit-identity with the traditional backend: the scratch-mesh path
+// dedups points per GrainFixed chunk (the collector's segment-scoped
+// Local map), so the output point order is first-touch order within
+// each fixed chunk. The DPP passes walk the survivor list grouped by
+// the same GrainFixed boundaries with the same per-chunk first-touch
+// dedup, so points, scalars, connectivity, and cell order all match
+// exactly at every worker count.
+
+// dppScratch holds the flag/survivor arrays and per-worker dedup maps,
+// leased from the pool so the steady-state sweep runs without
+// allocating them.
+type dppScratch struct {
+	flags     []int32
+	survivors []int32
+	chunkPts  []int32
+	maps      []map[int]int32
+}
+
+type dppScratchKey struct{}
+
+// lowerBound returns the first index of a whose value is >= v.
+func lowerBound(a []int32, v int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// runDPP executes the flag → compact formulation over the prepared cell
+// field and point carry field.
+func runDPP(g *mesh.UniformGrid, cf, pf []float64, lo, hi float64, ex *viz.Exec) (*viz.Result, error) {
+	nCells := g.NumCells()
+	grain := par.GrainFixed(nCells)
+	nChunks := (nCells + grain - 1) / grain
+
+	ws, _ := ex.Pool.GetScratch(dppScratchKey{}).(*dppScratch)
+	if ws == nil {
+		ws = &dppScratch{}
+	}
+	if cap(ws.flags) < nCells {
+		ws.flags = make([]int32, nCells)
+		ws.survivors = make([]int32, nCells)
+	}
+	if cap(ws.chunkPts) < nChunks {
+		ws.chunkPts = make([]int32, nChunks)
+	}
+	for len(ws.maps) < ex.Pool.Workers() {
+		ws.maps = append(ws.maps, make(map[int]int32, 64))
+	}
+	flags, survivors, chunkPts := ws.flags[:nCells], ws.survivors[:nCells], ws.chunkPts[:nChunks]
+
+	// Pass 1 (flag): one streamed load and compare per cell.
+	ex.Rec(0).Launch()
+	ex.Pool.For(nCells, 0, func(lo2, hi2, worker int) {
+		rec := ex.Rec(worker)
+		for cell := lo2; cell < hi2; cell++ {
+			if v := cf[cell]; v >= lo && v <= hi {
+				flags[cell] = 1
+			} else {
+				flags[cell] = 0
+			}
+		}
+		n := uint64(hi2 - lo2)
+		rec.Loads(n*8, ops.Stream)
+		rec.Stores(n*4, ops.Stream)
+		rec.Flops(n)
+		rec.Branches(n)
+	})
+
+	// Compact: flag → scan → scatter yields the survivor cell ids in
+	// ascending order.
+	ex.Rec(0).Launch()
+	kept := dpp.Compact(ex.Pool, flags, survivors)
+	rec0 := ex.Rec(0)
+	rec0.Loads(uint64(nCells)*8, ops.Stream) // scan + scatter read the flags twice
+	rec0.Stores(uint64(nCells)*4+uint64(kept)*4, ops.Stream)
+	rec0.IntOps(uint64(nCells) * 2)
+	surv := survivors[:kept]
+
+	// Pass 2 (count): per GrainFixed chunk, count the unique corner
+	// points its surviving cells touch (first-touch dedup, exactly the
+	// traditional backend's segment-scoped Local map).
+	ex.Rec(0).Launch()
+	ex.Pool.ForEach(nChunks, func(ch, worker int) {
+		rec := ex.Rec(worker)
+		s0 := lowerBound(surv, int32(ch*grain))
+		s1 := lowerBound(surv, int32(min((ch+1)*grain, nCells)))
+		mp := ws.maps[worker]
+		if len(mp) > 0 {
+			clear(mp)
+		}
+		var cnt int32
+		for s := s0; s < s1; s++ {
+			pts := g.CellPoints(int(surv[s]))
+			for _, pid := range pts {
+				if _, ok := mp[pid]; !ok {
+					mp[pid] = cnt
+					cnt++
+				}
+			}
+		}
+		chunkPts[ch] = cnt
+		n := uint64(s1 - s0)
+		rec.Loads(n*4, ops.Stream) // survivor ids
+		rec.IntOps(n * 8 * 4)      // point-map lookups
+	})
+
+	// Scan the per-chunk point counts into chunk point bases (at most 64
+	// chunks — negligible next to the cell passes).
+	totP := int(dpp.ScanExclusive(ex.Pool, chunkPts, chunkPts))
+
+	// Size the output exactly once. All cells are hexes, so the offsets
+	// are the fixed ramp 8i.
+	out := mesh.NewUnstructuredMesh()
+	out.Points = make([]mesh.Vec3, totP)
+	out.Scalars = make([]float64, totP)
+	out.Types = make([]mesh.CellType, kept)
+	out.Conn = make([]int32, 8*kept)
+	out.Offsets = make([]int32, kept+1)
+
+	// Pass 3 (emit): re-run each chunk's dedup and scatter points and
+	// connectivity at the scanned bases. A surviving cell's output slot
+	// is its position in the survivor list.
+	ex.Rec(0).Launch()
+	ex.Pool.ForEach(nChunks, func(ch, worker int) {
+		rec := ex.Rec(worker)
+		s0 := lowerBound(surv, int32(ch*grain))
+		s1 := lowerBound(surv, int32(min((ch+1)*grain, nCells)))
+		mp := ws.maps[worker]
+		if len(mp) > 0 {
+			clear(mp)
+		}
+		base := chunkPts[ch]
+		var cnt int32
+		for s := s0; s < s1; s++ {
+			cell := int(surv[s])
+			pts := g.CellPoints(cell)
+			for c, pid := range pts {
+				id, ok := mp[pid]
+				if !ok {
+					id = base + cnt
+					mp[pid] = id
+					cnt++
+					out.Points[id] = g.PointPosition(pid)
+					out.Scalars[id] = pf[pid]
+				}
+				out.Conn[8*s+c] = id
+			}
+			out.Types[s] = mesh.Hex
+			out.Offsets[s+1] = int32(8 * (s + 1))
+		}
+		n := uint64(s1 - s0)
+		rec.Loads(n*8*32, ops.Strided) // corner positions + scalars
+		rec.IntOps(n * 8 * 4)          // point-map lookups
+		rec.Stores(n*(8*32+8*4), ops.Stream)
+	})
+
+	ex.Pool.PutScratch(dppScratchKey{}, ws)
+	// Working set: the cell field, the carry field, the emitted mesh,
+	// and the flag/survivor index arrays — the DPP memory overhead.
+	rec0.WorkingSet(uint64(nCells)*8 + uint64(len(pf))*8 + uint64(totP)*40 + uint64(nCells)*8)
+
+	return &viz.Result{
+		Profile:  ex.Drain(),
+		Elements: int64(nCells),
+		Cells:    out,
+	}, nil
+}

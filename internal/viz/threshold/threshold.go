@@ -23,6 +23,10 @@ type Options struct {
 	// Lo and Hi bound the kept range. If both are zero, the upper half
 	// of the field range is kept.
 	Lo, Hi float64
+	// Backend selects the traditional scratch-mesh implementation
+	// (default) or the data-parallel-primitive flag → compact
+	// formulation. Both produce bit-identical output.
+	Backend viz.Backend
 }
 
 // Filter is the threshold algorithm.
@@ -38,6 +42,9 @@ func New(opts Options) *Filter {
 
 // Name implements viz.Filter.
 func (f *Filter) Name() string { return "Threshold" }
+
+// Backend implements viz.BackendProvider.
+func (f *Filter) Backend() viz.Backend { return f.opts.Backend }
 
 // Run implements viz.Filter.
 func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
@@ -58,6 +65,10 @@ func (f *Filter) Run(g *mesh.UniformGrid, ex *viz.Exec) (*viz.Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if f.opts.Backend == viz.DPP {
+		return runDPP(g, cf, pf, lo, hi, ex)
 	}
 
 	nCells := g.NumCells()
