@@ -25,6 +25,12 @@
 #                  recorded in BENCH_PR8.json (traditional vs DPP
 #                  contour/threshold at 32^3/64^3/128^3, plus the scan
 #                  primitive's steady-state allocation check), -benchmem
+#   make bench-govern - the closed-loop governor benchmarks recorded in
+#                  BENCH_PR9.json (governed vs static phase plan vs
+#                  uniform cap per budget, with the equal-energy replay
+#                  columns), -benchmem
+#   make govern  - run the vizpower govern subcommand at demonstration
+#                  scale (closed-loop vs static vs uniform sweep table)
 #   make profile - run the vizpower profile subcommand at demonstration
 #                  scale into out/profile (trace.json + summary.txt),
 #                  validating the exported JSON
@@ -38,9 +44,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/dpp ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/dpp ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve ./internal/power
 
-.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve bench-dpp profile serve
+.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve bench-dpp bench-govern govern profile serve
 
 check: vet build test race
 
@@ -90,6 +96,15 @@ bench-dpp:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkDPPScan' \
 		-benchtime 100x
+
+bench-govern:
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkGovernCompare' \
+		-benchtime 3x
+
+# Run the closed-loop governor sweep at demonstration scale.
+govern:
+	$(GO) run ./cmd/vizpower govern -quick -cycles 8
 
 # Run the telemetry subcommand at demonstration scale and confirm the
 # exported trace parses as Chrome trace-event JSON (the CLI re-validates

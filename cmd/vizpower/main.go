@@ -66,6 +66,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/msr"
 	"repro/internal/perfctr"
+	"repro/internal/power"
 	"repro/internal/rapl"
 	"repro/internal/serve"
 	"repro/internal/sim/clover"
@@ -100,6 +101,7 @@ type options struct {
 	cpuprofile string
 	addr       string
 	queueDepth int
+	govern     bool
 }
 
 func parseFlags(cmd string, args []string) (*options, error) {
@@ -129,6 +131,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		backend   = fs.String("backend", "trad", "geometry kernel formulation for contour/threshold: trad or dpp")
 		traceF    = fs.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (load in Perfetto)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of this run to FILE")
+		governF   = fs.Bool("govern", false, "all: add the closed-loop governor sweep; serve: calibrate admission from a governed run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -206,7 +209,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
 		alg: *alg, extended: *extended, adaptive: *adaptive, distRanks: distRanks,
 		traceFile: *traceF, cpuprofile: *cpuprof,
-		addr: *addr, queueDepth: *queue,
+		addr: *addr, queueDepth: *queue, govern: *governF,
 	}, nil
 }
 
@@ -359,6 +362,8 @@ func run(args []string) (retErr error) {
 		return overprovisionCmd(c, opt)
 	case "feedback":
 		return feedbackCmd(c, opt)
+	case "govern":
+		return governCmd(c, opt)
 	case "advect":
 		return advectCmd(c, opt)
 	case "trace":
@@ -391,6 +396,28 @@ func serveCmd(c *harness.Config, opt *options) error {
 		CinemaDir:   filepath.Join(opt.out, "serve-cinema"),
 		Tracer:      c.Tracer,
 	})
+	if opt.govern {
+		// Calibrate admission from a short governed run: per-class
+		// measured demand replaces the spec-TDP first-request guess.
+		// A small pipeline suffices — the class demand, not the per-size
+		// cost, is what seeds the estimate ladder.
+		size := c.PhaseSize
+		if size > 32 {
+			size = 32
+		}
+		res, err := c.GovernorCompare(size, nil, 2)
+		if err != nil {
+			return fmt.Errorf("govern calibration: %w", err)
+		}
+		srv.SeedClassDemand(res.ClassDemand)
+		fmt.Fprintf(os.Stderr, "vizpower serve: admission calibrated from a governed %d^3 run:", size)
+		for _, class := range []core.Class{core.PowerOpportunity, core.PowerSensitive} {
+			if w, ok := res.ClassDemand[class]; ok {
+				fmt.Fprintf(os.Stderr, " %s %.1f W", class, w)
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	hs := &http.Server{Addr: opt.addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
@@ -533,7 +560,7 @@ func feedbackCmd(c *harness.Config, opt *options) error {
 		segs = append(segs, cr.SimExec, cr.VizExec)
 	}
 	pkg := rapl.NewPackage(msr.NewFile(), c.Spec)
-	res, err := core.RunFeedback(pkg, segs, opt.capW, 0, 0.1)
+	res, err := power.RunFeedback(pkg, segs, opt.capW, 0, 0.1)
 	if err != nil {
 		return err
 	}
@@ -548,6 +575,28 @@ func feedbackCmd(c *harness.Config, opt *options) error {
 	fmt.Printf("achieved average %.2f W in %.4fs (static %.0f W cap: %.4fs, %.2fx slower)\n",
 		res.AvgPowerWatts, res.TimeSec, opt.capW, static, static/res.TimeSec)
 	fmt.Printf("controller settled at a %.1f W limit\n", res.FinalCapWatts)
+	return nil
+}
+
+// governBudgets is the default budget ladder of the closed-loop sweep:
+// below, at, and above the 70 W sensitivity boundary.
+var governBudgets = []float64{55, 65, 75}
+
+// governCmd sweeps the phase-aware closed-loop governor against the
+// static phase plan and the uniform cap on a live in situ pipeline at
+// the phase size.
+func governCmd(c *harness.Config, opt *options) error {
+	// The closed loop needs a few feedback rounds to settle; below six
+	// cycles the comparison mostly measures its discovery transient.
+	cycles := opt.cycles
+	if cycles < 6 {
+		cycles = 6
+	}
+	res, err := c.GovernorCompare(c.PhaseSize, governBudgets, cycles)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.GovernTable(res))
 	return nil
 }
 
@@ -988,6 +1037,20 @@ func allCmd(c *harness.Config, opt *options) error {
 	} else if err := write("backends.txt", harness.BackendTable(pairs)); err != nil {
 		return err
 	}
+	// -govern adds the closed-loop capping sweep: governor vs static
+	// plan vs uniform cap at the phase size, cached into the report's
+	// "Closed-loop capping" section.
+	if opt.govern {
+		cycles := opt.cycles
+		if cycles < 6 {
+			cycles = 6
+		}
+		if res, err := c.GovernorCompare(c.PhaseSize, governBudgets, cycles); err != nil {
+			skip("govern sweep", err)
+		} else if err := write("govern.txt", harness.GovernTable(res)); err != nil {
+			return err
+		}
+	}
 	// The self-contained campaign report: tables, classification, and
 	// executable claim checks in one document. The claims need the full
 	// Phase 2 set, so a degraded sweep skips them rather than aborting.
@@ -1084,10 +1147,12 @@ commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           classify [-extended] arch [-alg NAME] export trace allocate
           advect [-ranks LIST -adaptive] profile [-cap W -cycles N -out DIR -ranks LIST]
           overprovision [-alg NAME -budget W] feedback [-cap W]
-          serve [-addr HOST:PORT -budget W -queue N -out DIR] all
+          govern [-cycles N] serve [-addr HOST:PORT -budget W -queue N -out DIR -govern] all
 run "vizpower <command> -h" for flags; add -quick for a fast demonstration
 global: -trace FILE writes a Perfetto-loadable execution trace of any
 command; -cpuprofile FILE writes a pprof CPU profile; -backend trad|dpp
 selects the contour/threshold formulation (verify, profile, classify,
-all; "all" additionally compares both backends in report.md)`)
+all; "all" additionally compares both backends in report.md); -govern
+adds the closed-loop governor sweep to "all" and calibrates "serve"
+admission from a governed run`)
 }

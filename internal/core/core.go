@@ -108,9 +108,21 @@ type CycleResult struct {
 	VizExec    cpu.Execution
 }
 
-// RunCycle advances the simulation StepsPerCycle steps, exports the grid,
-// and runs every filter on it.
-func (p *Pipeline) RunCycle() (*CycleResult, error) {
+// PhaseResult is one instrumented phase of an in situ cycle: the drained
+// operation profile and its processor-model analysis. The phase methods
+// exist so a runtime power governor can interleave cap decisions with
+// the real pipeline at phase granularity instead of wrapping whole
+// cycles.
+type PhaseResult struct {
+	Profile ops.Profile
+	Exec    cpu.Execution
+}
+
+// Simulate runs the simulation half of one cycle: StepsPerCycle hydro
+// steps under the "simulate" stage span, analyzed on the processor
+// model. Pair every Simulate with a Visualize — the filters consume the
+// grid state this call advances.
+func (p *Pipeline) Simulate() (PhaseResult, error) {
 	tr := p.Tracer
 	recs := make([]ops.Recorder, p.Pool.Workers())
 	simStart := tr.Begin()
@@ -120,38 +132,63 @@ func (p *Pipeline) RunCycle() (*CycleResult, error) {
 		tr.End(telemetry.PipelineTrack, "sim.step", s)
 	}
 	tr.End(telemetry.PipelineTrack, "simulate", simStart)
-	simProfile := ops.DrainAll(recs)
+	profile := ops.DrainAll(recs)
+	anStart := tr.Begin()
+	exec := cpu.Analyze(p.Spec, profile, 0)
+	tr.End(telemetry.PipelineTrack, "analyze", anStart)
+	return PhaseResult{Profile: profile, Exec: exec}, nil
+}
 
+// Visualize runs the visualization half of one cycle: export the grid
+// and run every filter on it, analyzed on the processor model.
+func (p *Pipeline) Visualize() (PhaseResult, error) {
+	tr := p.Tracer
 	expStart := tr.Begin()
 	g, err := p.Sim.Grid()
 	tr.End(telemetry.PipelineTrack, "export", expStart)
 	if err != nil {
-		return nil, err
+		return PhaseResult{}, err
 	}
 	ex := viz.NewExec(p.Pool)
-	var vizProfile ops.Profile
+	var profile ops.Profile
 	for _, f := range p.Filters {
 		fStart := tr.Begin()
 		res, err := f.Run(g, ex)
 		tr.End(telemetry.PipelineTrack, f.Name(), fStart)
 		if err != nil {
-			return nil, fmt.Errorf("core: cycle %d: %w", p.cycle, err)
+			return PhaseResult{}, fmt.Errorf("core: cycle %d: %w", p.cycle, err)
 		}
 		// Filters drain the exec recorders into their result profile.
-		vizProfile.Add(res.Profile)
+		profile.Add(res.Profile)
 	}
-
-	p.cycle++
 	anStart := tr.Begin()
-	cr := &CycleResult{
-		Cycle:      p.cycle,
-		SimProfile: simProfile,
-		VizProfile: vizProfile,
-		SimExec:    cpu.Analyze(p.Spec, simProfile, 0),
-		VizExec:    cpu.Analyze(p.Spec, vizProfile, 0),
-	}
+	exec := cpu.Analyze(p.Spec, profile, 0)
 	tr.End(telemetry.PipelineTrack, "analyze", anStart)
-	return cr, nil
+	p.cycle++
+	return PhaseResult{Profile: profile, Exec: exec}, nil
+}
+
+// Cycle returns the number of completed simulate+visualize cycles.
+func (p *Pipeline) Cycle() int { return p.cycle }
+
+// RunCycle advances the simulation StepsPerCycle steps, exports the grid,
+// and runs every filter on it.
+func (p *Pipeline) RunCycle() (*CycleResult, error) {
+	sim, err := p.Simulate()
+	if err != nil {
+		return nil, err
+	}
+	vis, err := p.Visualize()
+	if err != nil {
+		return nil, err
+	}
+	return &CycleResult{
+		Cycle:      p.cycle,
+		SimProfile: sim.Profile,
+		VizProfile: vis.Profile,
+		SimExec:    sim.Exec,
+		VizExec:    vis.Exec,
+	}, nil
 }
 
 // Trace runs cycles of the pipeline under the RAPL limit programmed on

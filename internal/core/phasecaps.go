@@ -41,9 +41,24 @@ func PlanPhaseCaps(sim, vis cpu.Execution, avgBudget float64) (PhasePlan, error)
 	}
 	maxCap := spec.TDPWatts
 
-	evaluate := func(simCap, vizCap float64) (cycle, avg float64, ok bool) {
-		rs := sim.UnderCap(simCap)
-		rv := vis.UnderCap(vizCap)
+	// The grid search visits caps² (simCap, vizCap) pairs, but each axis
+	// only ever evaluates the same caps per-phase results — memoize one
+	// UnderCap row per phase so the model runs O(caps) times, not
+	// O(caps²). The pair loop below then reads the cached rows in the
+	// same order the naive search visited them, so the chosen plan
+	// (including first-found tie breaking) is bit-identical.
+	caps := make([]float64, 0, int(maxCap-spec.MinCapWatts)+1)
+	for w := spec.MinCapWatts; w <= maxCap+1e-9; w++ {
+		caps = append(caps, w)
+	}
+	simBy := make([]cpu.CapResult, len(caps))
+	visBy := make([]cpu.CapResult, len(caps))
+	for i, w := range caps {
+		simBy[i] = sim.UnderCap(w)
+		visBy[i] = vis.UnderCap(w)
+	}
+
+	evaluate := func(rs, rv cpu.CapResult) (cycle, avg float64, ok bool) {
 		t := rs.TimeSec + rv.TimeSec
 		if t <= 0 {
 			return 0, 0, false
@@ -53,9 +68,9 @@ func PlanPhaseCaps(sim, vis cpu.Execution, avgBudget float64) (PhasePlan, error)
 	}
 
 	best := PhasePlan{CycleTimeSec: -1}
-	for simCap := spec.MinCapWatts; simCap <= maxCap+1e-9; simCap++ {
-		for vizCap := spec.MinCapWatts; vizCap <= maxCap+1e-9; vizCap++ {
-			t, avg, ok := evaluate(simCap, vizCap)
+	for i, simCap := range caps {
+		for j, vizCap := range caps {
+			t, avg, ok := evaluate(simBy[i], visBy[j])
 			if !ok {
 				continue
 			}
@@ -70,7 +85,7 @@ func PlanPhaseCaps(sim, vis cpu.Execution, avgBudget float64) (PhasePlan, error)
 	if best.CycleTimeSec < 0 {
 		return PhasePlan{}, fmt.Errorf("core: no feasible phase-cap plan under %.0f W", avgBudget)
 	}
-	uni, _, _ := evaluate(avgBudget, avgBudget)
+	uni, _, _ := evaluate(sim.UnderCap(avgBudget), vis.UnderCap(avgBudget))
 	best.UniformTimeSec = uni
 	if best.CycleTimeSec > 0 {
 		best.Speedup = uni / best.CycleTimeSec

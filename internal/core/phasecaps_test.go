@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cpu"
@@ -81,5 +82,88 @@ func TestPlanPhaseCapsAverageIdentity(t *testing.T) {
 	want := (rs.EnergyJ + rv.EnergyJ) / (rs.TimeSec + rv.TimeSec)
 	if diff := plan.AvgPowerWatts - want; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("AvgPowerWatts = %v, want %v", plan.AvgPowerWatts, want)
+	}
+}
+
+// planBruteForce is the pre-memoization grid search, kept verbatim as
+// the reference the cached version must match decision for decision.
+func planBruteForce(sim, vis cpu.Execution, avgBudget float64) (PhasePlan, error) {
+	spec := sim.Spec
+	if avgBudget < spec.MinCapWatts {
+		return PhasePlan{}, fmt.Errorf("core: average budget %.0f W below the %.0f W cap floor", avgBudget, spec.MinCapWatts)
+	}
+	maxCap := spec.TDPWatts
+	evaluate := func(simCap, vizCap float64) (cycle, avg float64, ok bool) {
+		rs := sim.UnderCap(simCap)
+		rv := vis.UnderCap(vizCap)
+		t := rs.TimeSec + rv.TimeSec
+		if t <= 0 {
+			return 0, 0, false
+		}
+		avg = (rs.EnergyJ + rv.EnergyJ) / t
+		return t, avg, avg <= avgBudget+1e-9
+	}
+	best := PhasePlan{CycleTimeSec: -1}
+	for simCap := spec.MinCapWatts; simCap <= maxCap+1e-9; simCap++ {
+		for vizCap := spec.MinCapWatts; vizCap <= maxCap+1e-9; vizCap++ {
+			t, avg, ok := evaluate(simCap, vizCap)
+			if !ok {
+				continue
+			}
+			if best.CycleTimeSec < 0 || t < best.CycleTimeSec {
+				best.CycleTimeSec = t
+				best.AvgPowerWatts = avg
+				best.SimCapWatts = simCap
+				best.VizCapWatts = vizCap
+			}
+		}
+	}
+	if best.CycleTimeSec < 0 {
+		return PhasePlan{}, fmt.Errorf("core: no feasible phase-cap plan under %.0f W", avgBudget)
+	}
+	uni, _, _ := evaluate(avgBudget, avgBudget)
+	best.UniformTimeSec = uni
+	if best.CycleTimeSec > 0 {
+		best.Speedup = uni / best.CycleTimeSec
+	}
+	return best, nil
+}
+
+func TestPlanPhaseCapsMemoizationUnchanged(t *testing.T) {
+	// The memoized search must reproduce the naive O(caps^2)-model-eval
+	// search bit for bit across budgets, including tie breaking.
+	sim := computeExec()
+	vis := vizLight()
+	for _, budget := range []float64{45, 55, 65, 70, 80, 95, 120} {
+		want, errWant := planBruteForce(sim, vis, budget)
+		got, errGot := PlanPhaseCaps(sim, vis, budget)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("budget %.0f: error mismatch: %v vs %v", budget, errGot, errWant)
+		}
+		if got != want {
+			t.Errorf("budget %.0f: plan diverged:\n got %+v\nwant %+v", budget, got, want)
+		}
+	}
+}
+
+func BenchmarkPlanPhaseCaps(b *testing.B) {
+	sim := computeExec()
+	vis := vizLight()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanPhaseCaps(sim, vis, 65); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanPhaseCapsBruteForce(b *testing.B) {
+	sim := computeExec()
+	vis := vizLight()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := planBruteForce(sim, vis, 65); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

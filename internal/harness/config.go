@@ -108,6 +108,7 @@ type Config struct {
 	runs         map[string]*AlgoRun
 	advectRuns   map[string]*AdvectDistRun
 	advectOracle map[int]*advectOracleRun
+	governs      map[int]*GovernResult
 	failures     []CellError
 	cellsDone    int
 }
@@ -176,6 +177,9 @@ func (c *Config) Defaults() *Config {
 	}
 	if c.advectOracle == nil {
 		c.advectOracle = make(map[int]*advectOracleRun)
+	}
+	if c.governs == nil {
+		c.governs = make(map[int]*GovernResult)
 	}
 	return c
 }

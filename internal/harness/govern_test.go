@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+func governConfig() *Config {
+	return (&Config{
+		Pool:      par.NewPool(2),
+		Sizes:     []int{16},
+		PhaseSize: 16,
+		Images:    2,
+		ImageSize: 16,
+	}).Defaults()
+}
+
+func TestGovernorCompare(t *testing.T) {
+	c := governConfig()
+	res, err := c.GovernorCompare(16, []float64{55, 65}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.GovTimeSec <= 0 || r.UniformTimeSec <= 0 || r.EqTimeSec <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		// The budget is a hard ceiling for every policy.
+		if r.GovAvgW > r.BudgetWatts*1.02 {
+			t.Errorf("%.0f W: live governed average %.2f W busts the budget", r.BudgetWatts, r.GovAvgW)
+		}
+		if r.StaticErr != nil {
+			continue
+		}
+		if r.StaticAvgW > r.BudgetWatts+1e-6 {
+			t.Errorf("%.0f W: static plan average %.2f W over budget", r.BudgetWatts, r.StaticAvgW)
+		}
+		// Equal energy means equal-or-lower: the replay target is
+		// capped at the static plan's achieved average.
+		if r.EqAvgW > r.StaticAvgW*1.02 {
+			t.Errorf("%.0f W: equal-energy replay spent %.2f W vs static %.2f W", r.BudgetWatts, r.EqAvgW, r.StaticAvgW)
+		}
+		// The governor must never lose badly to the policies it knows
+		// how to mimic (uniform is its own transient behavior).
+		if r.EqTimeSec > r.StaticTimeSec*1.05 {
+			t.Errorf("%.0f W: equal-energy time %.4fs far worse than static %.4fs", r.BudgetWatts, r.EqTimeSec, r.StaticTimeSec)
+		}
+		if r.GovTimeSec > r.UniformTimeSec*1.05 {
+			t.Errorf("%.0f W: governed time %.4fs far worse than uniform %.4fs", r.BudgetWatts, r.GovTimeSec, r.UniformTimeSec)
+		}
+	}
+	if len(res.ClassDemand) == 0 {
+		t.Error("no class demand measured")
+	}
+	if w, ok := res.ClassDemand[core.PowerSensitive]; ok && w <= 0 {
+		t.Errorf("nonpositive sensitive demand %.1f", w)
+	}
+
+	// The sweep is cached per size.
+	again, err := c.GovernorCompare(16, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Error("GovernorCompare did not cache per size")
+	}
+}
+
+func TestGovernTableAndReportSection(t *testing.T) {
+	c := governConfig()
+	res, err := c.GovernorCompare(16, []float64{65}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := GovernTable(res)
+	for _, want := range []string{"closed-loop", "uniform", "65 W", "class demand"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	var b strings.Builder
+	c.writeGovern(&b)
+	if !strings.Contains(b.String(), "## Closed-loop capping") {
+		t.Errorf("report section missing:\n%s", b.String())
+	}
+	// A config that never governed renders nothing.
+	var empty strings.Builder
+	governConfig().writeGovern(&empty)
+	if empty.Len() != 0 {
+		t.Errorf("unexpected section without a sweep: %q", empty.String())
+	}
+}

@@ -110,6 +110,7 @@ func (c *Config) WriteReport(w io.Writer, runs2, runs3 []*AlgoRun, claims []Clai
 	c.writeBackends(&b)
 	c.writeCellCost(&b)
 	c.writeAdvectDist(&b)
+	c.writeGovern(&b)
 	b.WriteString("\nSee EXPERIMENTS.md for the paper-versus-measured discussion.\n")
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,19 +1,21 @@
-package core
+package power
 
 import (
 	"fmt"
 	"math"
 
 	"repro/internal/cpu"
-	"repro/internal/msr"
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
 )
 
 // FeedbackResult is the outcome of a closed-loop capping run.
 type FeedbackResult struct {
-	// Samples is the 100 ms measurement timeline.
-	Samples []perfctr.Sample
+	// Samples is the 100 ms measurement timeline — the newest
+	// DefaultMaxSamples entries; older ones are counted in
+	// SamplesDropped instead of growing without bound.
+	Samples        []perfctr.Sample
+	SamplesDropped int
 	// TimeSec is the total virtual time to complete all segments.
 	TimeSec float64
 	// AvgPowerWatts is the achieved job-average power.
@@ -30,12 +32,16 @@ type FeedbackResult struct {
 // dynamic reallocation the paper's Section VII proposes, implemented over
 // the same register-level substrate as the static experiments.
 //
-// gain is the controller step in watts of cap per watt of average-power
-// error (0 selects 0.5). The controller clamps to the enforceable range.
+// This is the retained single-knob oracle the phase-aware Governor is
+// benchmarked against. gain is the controller step in watts of cap per
+// watt of average-power error (0 selects 0.5); the integral only
+// accumulates while the cap is off its saturation rail in the error's
+// direction (conditional-integration anti-windup), and clamps to the
+// enforceable range either way.
 func RunFeedback(pkg *rapl.Package, segs []cpu.Execution, targetAvgW, gain, interval float64) (FeedbackResult, error) {
 	spec := pkg.Spec()
 	if targetAvgW < spec.MinCapWatts {
-		return FeedbackResult{}, fmt.Errorf("core: target %.0f W below the %.0f W cap floor", targetAvgW, spec.MinCapWatts)
+		return FeedbackResult{}, fmt.Errorf("power: target %.0f W below the %.0f W cap floor", targetAvgW, spec.MinCapWatts)
 	}
 	if gain <= 0 {
 		gain = 0.5
@@ -43,29 +49,21 @@ func RunFeedback(pkg *rapl.Package, segs []cpu.Execution, targetAvgW, gain, inte
 	if interval <= 0 {
 		interval = perfctr.DefaultInterval
 	}
-	file := pkg.File()
-	ctrs := perfctr.NewCounters(file, spec)
-	sampler := perfctr.NewSampler(msr.Open(file, msr.StudyAllowlist()), spec)
-	if err := sampler.ProgramLLCEvents(); err != nil {
-		return FeedbackResult{}, err
-	}
-	if err := sampler.Prime(0); err != nil {
+	m, err := newMeter(pkg)
+	if err != nil {
 		return FeedbackResult{}, err
 	}
 	if err := pkg.SetLimitWatts(targetAvgW); err != nil {
 		return FeedbackResult{}, err
 	}
 
-	var out FeedbackResult
-	now := 0.0
-	totalEnergy := 0.0
+	ring := newSampleRing(DefaultMaxSamples)
 	capW := targetAvgW
-	const maxTicks = 1_000_000
 	for _, e := range segs {
 		progress := 0.0
 		for tick := 0; progress < 1-1e-12; tick++ {
 			if tick > maxTicks {
-				return FeedbackResult{}, fmt.Errorf("core: feedback run exceeded %d ticks", maxTicks)
+				return FeedbackResult{}, fmt.Errorf("power: feedback run exceeded %d ticks", maxTicks)
 			}
 			r := pkg.Govern(e)
 			if r.TimeSec <= 0 {
@@ -76,31 +74,34 @@ func RunFeedback(pkg *rapl.Package, segs []cpu.Execution, targetAvgW, gain, inte
 			dt := math.Min(interval, remaining)
 			frac := dt / r.TimeSec
 			progress += frac
-			pkg.AccumulateEnergy(r.PowerWatts * dt)
-			totalEnergy += r.PowerWatts * dt
-			ctrs.Advance(dt, r.FreqGHz,
-				float64(e.Instructions)*frac,
-				float64(e.LLCRefs)*frac,
-				float64(e.LLCMisses)*frac)
-			now += dt
-			s, err := sampler.Sample(now)
+			s, err := m.tick(e, r, dt, frac)
 			if err != nil {
 				return FeedbackResult{}, err
 			}
-			out.Samples = append(out.Samples, s)
-			// Integral control on the job-average power.
-			avg := totalEnergy / now
-			capW += gain * (targetAvgW - avg)
-			capW = math.Max(spec.MinCapWatts, math.Min(spec.TDPWatts, capW))
-			if err := pkg.SetLimitWatts(capW); err != nil {
-				return FeedbackResult{}, err
+			ring.push(s)
+			// Integral control on the job-average power; conditional
+			// integration: a cap pinned at a rail stops accumulating
+			// error it cannot act on.
+			errW := targetAvgW - m.avgWatts()
+			atTDP := capW >= spec.TDPWatts-1e-9
+			atFloor := capW <= spec.MinCapWatts+1e-9
+			if !(atTDP && errW > 0) && !(atFloor && errW < 0) {
+				capW += gain * errW
+				capW = math.Max(spec.MinCapWatts, math.Min(spec.TDPWatts, capW))
+				if err := pkg.SetLimitWatts(capW); err != nil {
+					return FeedbackResult{}, err
+				}
 			}
 		}
 	}
-	out.TimeSec = now
-	if now > 0 {
-		out.AvgPowerWatts = totalEnergy / now
+	out := FeedbackResult{
+		Samples:        ring.samples(),
+		SamplesDropped: ring.dropped(),
+		TimeSec:        m.nowSec,
+		FinalCapWatts:  capW,
 	}
-	out.FinalCapWatts = capW
+	if m.nowSec > 0 {
+		out.AvgPowerWatts = m.avgWatts()
+	}
 	return out, nil
 }

@@ -1,4 +1,4 @@
-package core
+package power
 
 import (
 	"math"
@@ -6,8 +6,31 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/msr"
+	"repro/internal/ops"
+	"repro/internal/perfctr"
 	"repro/internal/rapl"
 )
+
+// computeExec is a compute-bound (power-sensitive) synthetic phase and
+// memoryExec a bandwidth-bound (power-opportunity) one — the same pair
+// the core classification tests calibrate against.
+func computeExec() cpu.Execution {
+	var p ops.Profile
+	p.Flops = 8e9
+	p.LoadBytes[ops.Resident] = 16e9
+	p.WorkingSetBytes = 16 << 20
+	p.Launches = 2
+	return cpu.Analyze(cpu.BroadwellEP(), p, 0)
+}
+
+func memoryExec() cpu.Execution {
+	var p ops.Profile
+	p.Flops = 4e8
+	p.LoadBytes[ops.Stream] = 24e9
+	p.WorkingSetBytes = 140 << 20
+	p.Launches = 2
+	return cpu.Analyze(cpu.BroadwellEP(), p, 0)
+}
 
 func newRAPL() *rapl.Package {
 	return rapl.NewPackage(msr.NewFile(), cpu.BroadwellEP())
@@ -62,6 +85,11 @@ func TestFeedbackGenerousTargetNeverThrottles(t *testing.T) {
 	if math.Abs(res.TimeSec-free) > 0.01*free {
 		t.Errorf("generous target time %.4fs, want unconstrained %.4fs", res.TimeSec, free)
 	}
+	// Conditional integration: the rail is the settling point, and the
+	// integral must not have wound past it.
+	if res.FinalCapWatts != 120 {
+		t.Errorf("cap settled at %.1f W, want pinned at TDP", res.FinalCapWatts)
+	}
 }
 
 func TestFeedbackRejectsTargetBelowFloor(t *testing.T) {
@@ -83,5 +111,50 @@ func TestFeedbackEnergyAccounting(t *testing.T) {
 	want := res.AvgPowerWatts * res.TimeSec
 	if math.Abs(sampled-want) > 0.02*want+0.01 {
 		t.Errorf("sampled energy %.2f J vs accounted %.2f J", sampled, want)
+	}
+}
+
+func TestFeedbackSampleTimelineBounded(t *testing.T) {
+	// A long run must not grow the retained timeline without bound: the
+	// ring keeps the newest DefaultMaxSamples and counts the evictions.
+	hot := computeExec()
+	cold := memoryExec()
+	var segs []cpu.Execution
+	for i := 0; i < 4; i++ {
+		segs = append(segs, hot, cold)
+	}
+	res, err := RunFeedback(newRAPL(), segs, 65, 0, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) > DefaultMaxSamples {
+		t.Fatalf("retained %d samples, cap is %d", len(res.Samples), DefaultMaxSamples)
+	}
+	if res.SamplesDropped <= 0 {
+		t.Skipf("run too short to overflow the ring (%d samples)", len(res.Samples))
+	}
+	if len(res.Samples) != DefaultMaxSamples {
+		t.Errorf("dropped %d yet retained %d < %d", res.SamplesDropped, len(res.Samples), DefaultMaxSamples)
+	}
+	for i := 1; i < len(res.Samples); i++ {
+		if res.Samples[i].TimeSec <= res.Samples[i-1].TimeSec {
+			t.Fatalf("retained timeline out of order at %d", i)
+		}
+	}
+}
+
+func TestSampleRing(t *testing.T) {
+	r := newSampleRing(4)
+	for i := 0; i < 10; i++ {
+		r.push(perfctr.Sample{TimeSec: float64(i)})
+	}
+	got := r.samples()
+	if len(got) != 4 || r.dropped() != 6 {
+		t.Fatalf("len %d dropped %d, want 4 and 6", len(got), r.dropped())
+	}
+	for i, s := range got {
+		if s.TimeSec != float64(6+i) {
+			t.Errorf("slot %d holds t=%.0f, want %.0f", i, s.TimeSec, float64(6+i))
+		}
 	}
 }

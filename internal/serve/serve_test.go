@@ -351,3 +351,43 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedClassDemandLadder(t *testing.T) {
+	s := testServer(t, Options{})
+	// Rung 3: nothing known — a never-seen workload charges spec TDP.
+	if got := s.demandWatts("Volume Rendering", 16); got != s.spec.TDPWatts {
+		t.Fatalf("cold estimate %.1f W, want TDP %.1f W", got, s.spec.TDPWatts)
+	}
+	// Rung 2: a governor calibration upgrades the whole class.
+	s.SeedClassDemand(map[core.Class]float64{
+		core.PowerSensitive:   80,
+		core.PowerOpportunity: 58,
+		core.Class(99):        -5, // ignored
+	})
+	if got := s.demandWatts("Volume Rendering", 16); got != 80 {
+		t.Errorf("sensitive-class estimate %.1f W, want the seeded 80 W", got)
+	}
+	if got := s.demandWatts("Contour", 16); got != 58 {
+		t.Errorf("opportunity-class estimate %.1f W, want the seeded 58 W", got)
+	}
+	// Rung 1: a per-workload measurement beats the class estimate.
+	s.estimates.Store(estimateKey("Volume Rendering", 16), 71.5)
+	if got := s.demandWatts("Volume Rendering", 16); got != 71.5 {
+		t.Errorf("measured estimate %.1f W, want 71.5 W", got)
+	}
+	// Other sizes of the class still use the class rung.
+	if got := s.demandWatts("Volume Rendering", 32); got != 80 {
+		t.Errorf("unmeasured size fell off the class rung: %.1f W", got)
+	}
+	// The seeded calibration is visible on /stats.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/stats")
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ClassDemand["power sensitive"] != 80 || st.ClassDemand["power opportunity"] != 58 {
+		t.Errorf("stats classDemand = %v, want the seeded 80/58 W", st.ClassDemand)
+	}
+}

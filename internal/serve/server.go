@@ -80,6 +80,11 @@ type Server struct {
 	// classification with the measured one once a sweep cell ran.
 	estimates sync.Map // string -> float64 (watts)
 	classes   sync.Map // string -> core.Class
+	// classDemand holds the governor-measured time-weighted demand per
+	// power class (SeedClassDemand) — the middle rung of the admission
+	// estimate ladder between a per-workload measurement and the spec
+	// TDP guess.
+	classDemand sync.Map // core.Class -> float64 (watts)
 
 	requests atomic.Int64
 	rejected atomic.Int64
@@ -394,14 +399,32 @@ func (s *Server) classOf(name string, size int) core.Class {
 }
 
 // demandWatts returns the admission charge estimate for an (algorithm,
-// size): the measured modeled demand once any request of that workload
-// completed, the spec TDP before that (conservative — the first request
-// of a workload reserves a full socket).
+// size), best knowledge first: the measured modeled demand once any
+// request of that workload completed; else the governor-measured demand
+// of the workload's power class when a closed-loop calibration was
+// seeded (SeedClassDemand); else the spec TDP (conservative — the first
+// request of a workload reserves a full socket).
 func (s *Server) demandWatts(name string, size int) float64 {
 	if v, ok := s.estimates.Load(estimateKey(name, size)); ok {
 		return v.(float64)
 	}
+	if v, ok := s.classDemand.Load(s.classOf(name, size)); ok {
+		return v.(float64)
+	}
 	return s.spec.TDPWatts
+}
+
+// SeedClassDemand installs governor-measured per-class demand estimates
+// (power.Result.ClassDemand or harness.GovernResult.ClassDemand):
+// admission charges for workloads that have never run converge from the
+// spec TDP to what the closed-loop run actually measured for their
+// class. Nonpositive entries are ignored.
+func (s *Server) SeedClassDemand(demand map[core.Class]float64) {
+	for class, w := range demand {
+		if w > 0 {
+			s.classDemand.Store(class, w)
+		}
+	}
 }
 
 // noteDemand feeds a completed request's modeled demand power back into
@@ -615,6 +638,9 @@ type statsResponse struct {
 	Admission AdmissionStats `json:"admission"`
 	Cache     CacheStats     `json:"cache"`
 	Pool      poolStats      `json:"pool"`
+	// ClassDemand is the seeded per-class admission estimate in watts
+	// (absent until SeedClassDemand installs a calibration).
+	ClassDemand map[string]float64 `json:"classDemand,omitempty"`
 }
 
 type poolStats struct {
@@ -630,12 +656,21 @@ type poolStats struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ps := s.pool.Stats()
 	tot := ps.Totals()
+	demand := map[string]float64{}
+	s.classDemand.Range(func(k, v any) bool {
+		demand[k.(core.Class).String()] = v.(float64)
+		return true
+	})
+	if len(demand) == 0 {
+		demand = nil
+	}
 	writeJSON(w, statsResponse{
-		UptimeSec: time.Since(s.t0).Seconds(),
-		Requests:  s.requests.Load(),
-		Rejected:  s.rejected.Load(),
-		Admission: s.adm.Stats(),
-		Cache:     s.cache.Stats(),
+		UptimeSec:   time.Since(s.t0).Seconds(),
+		Requests:    s.requests.Load(),
+		Rejected:    s.rejected.Load(),
+		Admission:   s.adm.Stats(),
+		Cache:       s.cache.Stats(),
+		ClassDemand: demand,
 		Pool: poolStats{
 			Workers:     s.pool.Workers(),
 			Launches:    ps.Launches,
