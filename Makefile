@@ -29,6 +29,11 @@
 #                  BENCH_PR9.json (governed vs static phase plan vs
 #                  uniform cap per budget, with the equal-energy replay
 #                  columns), -benchmem
+#   make bench-obs - the metrics-plane benchmarks recorded in
+#                  BENCH_PR10.json (counter/sharded/histogram record
+#                  cost, full-registry scrape, attribution join, and
+#                  the instrumented-vs-bare par.For dispatch check),
+#                  -benchmem
 #   make govern  - run the vizpower govern subcommand at demonstration
 #                  scale (closed-loop vs static vs uniform sweep table)
 #   make profile - run the vizpower profile subcommand at demonstration
@@ -44,9 +49,9 @@
 GO ?= go
 
 # Packages whose tests exercise multi-worker pools and shared buffers.
-RACE_PKGS = ./internal/par ./internal/mesh ./internal/dpp ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve ./internal/power
+RACE_PKGS = ./internal/par ./internal/mesh ./internal/dpp ./internal/viz/... ./internal/cinema ./internal/dist ./internal/telemetry ./internal/serve ./internal/power ./internal/obs
 
-.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve bench-dpp bench-govern govern profile serve
+.PHONY: check vet build test race bench bench-render bench-advect bench-advect-dist bench-serve bench-dpp bench-govern bench-obs govern profile serve
 
 check: vet build test race
 
@@ -101,6 +106,14 @@ bench-govern:
 	$(GO) test -timeout 600s . -run xxx -benchmem \
 		-bench 'BenchmarkGovernCompare' \
 		-benchtime 3x
+
+bench-obs:
+	$(GO) test -timeout 600s ./internal/obs -run xxx -benchmem \
+		-bench 'BenchmarkObs' -benchtime=2s
+	$(GO) test -timeout 600s . -run xxx -benchmem \
+		-bench 'BenchmarkObs' -benchtime=2s
+	$(GO) test -timeout 600s ./internal/par -run xxx -benchmem \
+		-bench 'BenchmarkParForDispatch$$' -benchtime=2s
 
 # Run the closed-loop governor sweep at demonstration scale.
 govern:

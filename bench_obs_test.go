@@ -1,0 +1,60 @@
+// Metrics-plane benchmarks (recorded in BENCH_PR10.json): the /metrics
+// scrape against a live warm daemon, and the uninstrumented par.For
+// dispatch check — the pool's hot path is read only at scrape time
+// (func-backed collectors over PoolStats), so dispatch must match the
+// BENCH_PR1/PR5 baseline bit for bit.
+package repro_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// BenchmarkObsServeScrape measures GET /metrics on a warm daemon: one
+// full exposition over the request, admission, cache, pool, fabric,
+// cinema, and governor series, validated once up front.
+func BenchmarkObsServeScrape(b *testing.B) {
+	cfg := benchServeConfig(b)
+	s := serve.New(serve.Options{Config: cfg, BudgetWatts: 130, CinemaDir: b.TempDir()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, _ := benchGet(b, ts, "/render?alg=volren&frame=2"); resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	if _, body := benchGet(b, ts, "/metrics"); true {
+		if _, err := obs.ValidatePrometheus(body); err != nil {
+			b.Fatalf("exposition invalid: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _ := benchGet(b, ts, "/metrics")
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkObsDispatchUninstrumented is the PR10 regression guard for
+// the pool hot path: par.For on a warm pool with no registry anywhere
+// in sight, the same shape as par's BenchmarkParForDispatch. The
+// metrics plane reads pool counters only at scrape time, so this must
+// stay within noise of the BENCH_PR1/PR5 numbers (0 allocs/op).
+func BenchmarkObsDispatchUninstrumented(b *testing.B) {
+	p := par.NewPool(4)
+	defer p.Close()
+	const n = 4 * 1024
+	p.For(n, 1024, func(lo, hi, worker int) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(n, 1024, func(lo, hi, worker int) {})
+	}
+}

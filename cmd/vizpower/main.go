@@ -65,6 +65,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mesh"
 	"repro/internal/msr"
+	"repro/internal/obs"
 	"repro/internal/perfctr"
 	"repro/internal/power"
 	"repro/internal/rapl"
@@ -102,6 +103,7 @@ type options struct {
 	addr       string
 	queueDepth int
 	govern     bool
+	decisions  bool
 }
 
 func parseFlags(cmd string, args []string) (*options, error) {
@@ -132,6 +134,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		traceF    = fs.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (load in Perfetto)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of this run to FILE")
 		governF   = fs.Bool("govern", false, "all: add the closed-loop governor sweep; serve: calibrate admission from a governed run")
+		decisions = fs.Bool("decisions", false, "govern: dump each budget's cap-decision flight recording")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -209,7 +212,7 @@ func parseFlags(cmd string, args []string) (*options, error) {
 		capW: *capW, budget: *budget, cycles: *cycles, figSize: *figRes,
 		alg: *alg, extended: *extended, adaptive: *adaptive, distRanks: distRanks,
 		traceFile: *traceF, cpuprofile: *cpuprof,
-		addr: *addr, queueDepth: *queue, govern: *governF,
+		addr: *addr, queueDepth: *queue, govern: *governF, decisions: *decisions,
 	}, nil
 }
 
@@ -410,6 +413,17 @@ func serveCmd(c *harness.Config, opt *options) error {
 			return fmt.Errorf("govern calibration: %w", err)
 		}
 		srv.SeedClassDemand(res.ClassDemand)
+		// The calibration runs' flight recordings seed /debug/governor,
+		// so the daemon exposes why the admission ladder looks the way
+		// it does. Budgets ran in sequence; their decisions concatenate
+		// in time order.
+		var dec []obs.Decision
+		var dropped int64
+		for _, row := range res.Rows {
+			dec = append(dec, row.Decisions...)
+			dropped += row.DecisionsDropped
+		}
+		srv.SetGovernorLog(dec, dropped)
 		fmt.Fprintf(os.Stderr, "vizpower serve: admission calibrated from a governed %d^3 run:", size)
 		for _, class := range []core.Class{core.PowerOpportunity, core.PowerSensitive} {
 			if w, ok := res.ClassDemand[class]; ok {
@@ -597,6 +611,16 @@ func governCmd(c *harness.Config, opt *options) error {
 		return err
 	}
 	fmt.Print(harness.GovernTable(res))
+	if len(res.Attribution) > 0 {
+		fmt.Printf("\nwhere the joules went (live governed runs):\n")
+		obs.WriteJoulesTable(os.Stdout, res.Attribution)
+	}
+	if opt.decisions {
+		for _, row := range res.Rows {
+			fmt.Printf("\ncap decisions at the %.0f W budget:\n", row.BudgetWatts)
+			obs.WriteDecisionTable(os.Stdout, row.Decisions, row.DecisionsDropped)
+		}
+	}
 	return nil
 }
 
@@ -810,7 +834,7 @@ func profileCmd(c *harness.Config, opt *options) error {
 		return err
 	}
 	t0 := time.Now()
-	_, results, err := pipe.Trace(pkg, opt.cycles, 0.1)
+	samples, results, err := pipe.Trace(pkg, opt.cycles, 0.1)
 	if err != nil {
 		return err
 	}
@@ -849,6 +873,11 @@ func profileCmd(c *harness.Config, opt *options) error {
 		return err
 	}
 	spans := tr.Spans()
+	// The energy attribution joins the trace's self-time partition with
+	// the meter timeline of the capped pipeline run — the distributed
+	// advection pass above (unmetered) shows up as extra self time, not
+	// extra joules.
+	joules := obs.Attribute(telemetry.Summarize(spans), samples)
 	summaryPath := filepath.Join(opt.out, "summary.txt")
 	sf, err := os.Create(summaryPath)
 	if err != nil {
@@ -858,6 +887,13 @@ func profileCmd(c *harness.Config, opt *options) error {
 		sf.Close()
 		return err
 	}
+	if len(joules) > 0 {
+		fmt.Fprintf(sf, "\nwhere the joules went (%.0f W cap, %d meter samples):\n", opt.capW, len(samples))
+		obs.WriteJoulesTable(sf, joules)
+	}
+	// Footer: span loss must be visible in the artifact, not only on
+	// stderr — a truncated summary otherwise reads as a complete one.
+	fmt.Fprintf(sf, "\nspans: %d recorded, %d dropped (bounded tracks)\n", len(spans), tr.Dropped())
 	if err := sf.Close(); err != nil {
 		return err
 	}
@@ -866,6 +902,10 @@ func profileCmd(c *harness.Config, opt *options) error {
 	fmt.Println("wrote", summaryPath)
 	if err := telemetry.WriteSummary(os.Stdout, spans, 5, wall.Nanoseconds()); err != nil {
 		return err
+	}
+	if len(joules) > 0 {
+		fmt.Println("\nwhere the joules went:")
+		obs.WriteJoulesTable(os.Stdout, joules)
 	}
 	return nil
 }
@@ -1147,7 +1187,7 @@ commands: table1 table2 table3 fig1 fig2a fig2b fig2c fig3 fig4 fig5 fig6
           classify [-extended] arch [-alg NAME] export trace allocate
           advect [-ranks LIST -adaptive] profile [-cap W -cycles N -out DIR -ranks LIST]
           overprovision [-alg NAME -budget W] feedback [-cap W]
-          govern [-cycles N] serve [-addr HOST:PORT -budget W -queue N -out DIR -govern] all
+          govern [-cycles N -decisions] serve [-addr HOST:PORT -budget W -queue N -out DIR -govern] all
 run "vizpower <command> -h" for flags; add -quick for a fast demonstration
 global: -trace FILE writes a Perfetto-loadable execution trace of any
 command; -cpuprofile FILE writes a pprof CPU profile; -backend trad|dpp

@@ -166,6 +166,7 @@ func (c *Comm) Size() int { return c.size }
 func (c *Comm) abort(rank int, err error) {
 	c.abortOnce.Do(func() {
 		c.abortErr = &AbortError{Rank: rank, Err: err}
+		fabricAborts.Inc(rank)
 		close(c.done)
 	})
 }
@@ -267,10 +268,13 @@ func (e *Endpoint) send(dst, tag int, data []float64) error {
 	}
 	select {
 	case c.chans[e.rank][dst] <- message{tag: tag, data: cp}:
+		fabricSends.Inc(e.rank)
+		fabricBytes.Add(e.rank, int64(8*len(cp)))
 		return nil
 	case <-c.done:
 		return c.abortErr
 	case <-timeout:
+		fabricStalls.Inc(e.rank)
 		return fmt.Errorf("dist: rank %d send to %d (tag %d) blocked > %v on a full buffer: %w",
 			e.rank, dst, tag, c.opts.SendTimeout, ErrStalled)
 	}
@@ -294,6 +298,7 @@ func (e *Endpoint) recv(src, tag int) ([]float64, error) {
 		if m.tag != tag {
 			return nil, fmt.Errorf("dist: rank %d expected tag %d from %d, got %d", e.rank, tag, src, m.tag)
 		}
+		fabricRecvs.Inc(e.rank)
 		return m.data, nil
 	case <-c.done:
 		return nil, c.abortErr

@@ -162,7 +162,7 @@ func (c *Config) AdvectDist(size, ranks int) (*AdvectDistRun, error) {
 		run.Participation = float64(total) / (float64(ranks) * float64(max))
 	}
 	c.advectRuns[key] = run
-	c.heartbeat("cell (Particle Advection, %d^3, ranks=%d) done in %.2fs", size, ranks, wall)
+	c.heartbeat("cell (Particle Advection, %d^3, ranks=%d) done in %.2fs%s", size, ranks, wall, c.droppedNote())
 	return run, nil
 }
 

@@ -339,6 +339,7 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 		if attempts > c.MaxRetries || !dist.IsTransient(err) {
 			break
 		}
+		dist.NoteRetry(0)
 		c.log("retry %s at %d^3 after transient failure (attempt %d): %v", f.Name(), size, attempts, err)
 		time.Sleep(c.RetryBackoff << (attempts - 1))
 	}
@@ -353,8 +354,8 @@ func (c *Config) Run(f viz.Filter, size int) (*AlgoRun, error) {
 	// Shared-memory cells run on one fabric rank; the distributed
 	// advection sweep (AdvectDist) emits the same line shape with its
 	// real rank count.
-	c.heartbeat("cell %d/%d (%s, %d^3, ranks=1, %d caps) done in %.2fs",
-		c.cellsDone, c.totalCells(), run.Name, size, len(c.Caps), run.WallSec)
+	c.heartbeat("cell %d/%d (%s, %d^3, ranks=1, %d caps) done in %.2fs%s",
+		c.cellsDone, c.totalCells(), run.Name, size, len(c.Caps), run.WallSec, c.droppedNote())
 	c.log("run %s at %d^3: T(base)=%.3fs P(demand)=%.1fW IPC=%.2f",
 		run.Name, size, run.Base.TimeSec, run.Exec.Demand().PowerWatts, run.Base.IPC)
 	return run, nil
@@ -379,6 +380,17 @@ func (c *Config) heartbeat(format string, args ...any) {
 		return
 	}
 	fmt.Fprintf(c.Heartbeat, format+"\n", args...)
+}
+
+// droppedNote annotates a heartbeat line once the tracer's bounded
+// tracks have overflowed — span loss should be visible where the
+// progress is, not only in the final trace export. Empty when no
+// tracer is attached or nothing was dropped.
+func (c *Config) droppedNote() string {
+	if d := c.Tracer.Dropped(); d > 0 {
+		return fmt.Sprintf(" [%d spans dropped]", d)
+	}
+	return ""
 }
 
 // runAttempt is one uncached execution of an (algorithm, size) cell.

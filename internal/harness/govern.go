@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msr"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rapl"
 	"repro/internal/sim/clover"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 	"repro/internal/viz/volren"
 )
@@ -51,6 +53,13 @@ type GovernRow struct {
 
 	// Uniform cap at the budget on the recorded segments.
 	UniformTimeSec, UniformAvgW float64
+
+	// Decisions is the live run's flight recording: every cap decision
+	// the governor took, oldest first; DecisionsDropped counts ring
+	// overwrites and SamplesDropped power-meter ring evictions.
+	Decisions        []obs.Decision
+	DecisionsDropped int64
+	SamplesDropped   int
 }
 
 // EqSpeedupVsStatic is static time over equal-energy governed time.
@@ -77,6 +86,11 @@ type GovernResult struct {
 	// ClassDemand is the governor-measured time-weighted demand per
 	// phase class from the live runs — what serve admission consumes.
 	ClassDemand map[core.Class]float64
+	// Attribution is the merged "where the joules went" table across
+	// the sweep's live governed runs: each run's per-phase trace window
+	// joined with its measured energy (power.Result.Attribute), folded
+	// by stage name.
+	Attribution []obs.StageJoules
 }
 
 // governPipeline builds the in situ workload the governed runs use: the
@@ -91,7 +105,17 @@ func (c *Config) governPipeline(size int) (*core.Pipeline, error) {
 	filters := []viz.Filter{
 		volren.New(volren.Options{Field: "energy", Images: 10, Width: 64, Height: 64}),
 	}
-	return core.NewPipeline(sim, filters, 10, c.Pool, c.Spec)
+	pipe, err := core.NewPipeline(sim, filters, 10, c.Pool, c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// The governed runs feed the energy attribution join, which needs
+	// pipeline stage spans; an untraced config gets a private tracer
+	// (pipeline track only — the shared pool stays uninstrumented).
+	if pipe.Tracer = c.Tracer; pipe.Tracer == nil {
+		pipe.Tracer = telemetry.New(0)
+	}
+	return pipe, nil
 }
 
 // GovernorCompare sweeps the closed-loop governor against the static
@@ -116,11 +140,12 @@ func (c *Config) GovernorCompare(size int, budgets []float64, cycles int) (*Gove
 		return nil, err
 	}
 	for _, budget := range budgets {
-		row, demand, err := c.governBudget(pipe, budget, cycles)
+		row, demand, att, err := c.governBudget(pipe, budget, cycles)
 		if err != nil {
 			return nil, fmt.Errorf("harness: govern %d^3 at %.0f W: %w", size, budget, err)
 		}
 		res.Rows = append(res.Rows, row)
+		res.Attribution = obs.MergeAttribution(res.Attribution, att)
 		for class, w := range demand {
 			// Keep the highest measured demand per class across budgets
 			// — deeper targets under-observe the unthrottled draw.
@@ -135,26 +160,31 @@ func (c *Config) GovernorCompare(size int, budgets []float64, cycles int) (*Gove
 }
 
 // governBudget runs the three policies for one budget on one live
-// governed workload.
-func (c *Config) governBudget(pipe *core.Pipeline, budget float64, cycles int) (GovernRow, map[core.Class]float64, error) {
+// governed workload. The returned attribution is the live run's
+// per-stage energy join (exact per phase window).
+func (c *Config) governBudget(pipe *core.Pipeline, budget float64, cycles int) (GovernRow, map[core.Class]float64, []obs.StageJoules, error) {
 	row := GovernRow{BudgetWatts: budget}
 
 	g, err := power.New(rapl.NewPackage(msr.NewFile(), c.Spec), power.Options{TargetWatts: budget})
 	if err != nil {
-		return row, nil, err
+		return row, nil, nil, err
 	}
 	live, err := g.Run(pipe, cycles)
 	if err != nil {
-		return row, nil, err
+		return row, nil, nil, err
 	}
 	row.GovTimeSec = live.TimeSec
 	row.GovAvgW = live.AvgPowerWatts
 	row.Reprograms = live.Reprograms
+	row.Decisions = live.Decisions
+	row.DecisionsDropped = live.DecisionsDropped
+	row.SamplesDropped = live.SamplesDropped
+	att := live.Attribute(pipe.Tracer.Spans())
 
 	// Static plan calibrated, as the offline planner would be, from the
 	// first recorded cycle only; realized over every recorded phase.
 	if len(live.Segments) < 2 {
-		return row, nil, fmt.Errorf("governed run recorded %d segments", len(live.Segments))
+		return row, nil, nil, fmt.Errorf("governed run recorded %d segments", len(live.Segments))
 	}
 	plan, err := core.PlanPhaseCaps(live.Segments[0].Exec, live.Segments[1].Exec, budget)
 	if err != nil {
@@ -200,18 +230,18 @@ func (c *Config) governBudget(pipe *core.Pipeline, budget float64, cycles int) (
 	}
 	g2, err := power.New(rapl.NewPackage(msr.NewFile(), c.Spec), power.Options{TargetWatts: eqTarget})
 	if err != nil {
-		return row, nil, err
+		return row, nil, nil, err
 	}
 	// The static plan profiles from recorded segments; the closed loop
 	// gets the equivalent head start — its own learned phase memory.
 	g2.Warm(&live)
 	replay, err := g2.RunSegments(live.Segments)
 	if err != nil {
-		return row, nil, err
+		return row, nil, nil, err
 	}
 	row.EqTimeSec = replay.TimeSec
 	row.EqAvgW = replay.AvgPowerWatts
-	return row, live.ClassDemand(), nil
+	return row, live.ClassDemand(), att, nil
 }
 
 // cachedGoverns returns the per-size govern sweeps already run, sizes
@@ -264,6 +294,22 @@ func GovernTable(res *GovernResult) string {
 		}
 		b.WriteByte('\n')
 	}
+	var decisions int
+	var decDropped int64
+	var sampDropped int
+	for _, r := range res.Rows {
+		decisions += len(r.Decisions)
+		decDropped += r.DecisionsDropped
+		sampDropped += r.SamplesDropped
+	}
+	fmt.Fprintf(&b, "flight recorder: %d cap decisions retained across the sweep", decisions)
+	if decDropped > 0 {
+		fmt.Fprintf(&b, " (%d overwritten)", decDropped)
+	}
+	b.WriteByte('\n')
+	if sampDropped > 0 {
+		fmt.Fprintf(&b, "power meter: %d samples dropped from the bounded rings\n", sampDropped)
+	}
 	return b.String()
 }
 
@@ -286,5 +332,10 @@ func (c *Config) writeGovern(b *strings.Builder) {
 		b.WriteString("\n```\n")
 		b.WriteString(GovernTable(res))
 		b.WriteString("```\n")
+		if len(res.Attribution) > 0 {
+			fmt.Fprintf(b, "\nWhere the joules went (%d^3, live governed runs; span self time\njoined with each phase's measured energy):\n\n```\n", res.Size)
+			obs.WriteJoulesTable(b, res.Attribution)
+			b.WriteString("```\n")
+		}
 	}
 }

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -69,6 +71,53 @@ func TestGovernorCompare(t *testing.T) {
 	}
 	if again != res {
 		t.Error("GovernorCompare did not cache per size")
+	}
+}
+
+// TestGovernorCompareObservability pins the sweep's new instrumentation:
+// each budget row carries the live run's flight recording and drop
+// counts, and the merged attribution covers the live joules.
+func TestGovernorCompareObservability(t *testing.T) {
+	c := governConfig()
+	res, err := c.GovernorCompare(16, []float64{55, 65}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var liveJ float64
+	for _, r := range res.Rows {
+		if len(r.Decisions) == 0 {
+			t.Errorf("%.0f W: no cap decisions recorded", r.BudgetWatts)
+		}
+		if r.DecisionsDropped != 0 {
+			t.Errorf("%.0f W: short run overwrote %d decisions", r.BudgetWatts, r.DecisionsDropped)
+		}
+		if r.SamplesDropped != 0 {
+			t.Errorf("%.0f W: short run dropped %d meter samples", r.BudgetWatts, r.SamplesDropped)
+		}
+		liveJ += r.GovAvgW * r.GovTimeSec
+	}
+	if len(res.Attribution) == 0 {
+		t.Fatal("sweep produced no energy attribution")
+	}
+	for _, row := range res.Attribution {
+		if row.Stage == "(untraced)" {
+			t.Errorf("traced governed pipeline attributed %.2f J to (untraced)", row.Joules)
+		}
+	}
+	// Merged across budgets, the attributed joules must still equal the
+	// measured live-run total (each phase join is exact).
+	if got := obs.TotalJoules(res.Attribution); math.Abs(got-liveJ) > 0.01*liveJ {
+		t.Errorf("attributed %.3f J, live runs measured %.3f J", got, liveJ)
+	}
+
+	table := GovernTable(res)
+	if !strings.Contains(table, "flight recorder:") {
+		t.Errorf("table missing flight recorder line:\n%s", table)
+	}
+	var b strings.Builder
+	c.writeGovern(&b)
+	if !strings.Contains(b.String(), "Where the joules went") {
+		t.Errorf("report missing attribution table:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Record(Decision{Cycle: i, Phase: "simulate", NewWatts: float64(i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", f.Dropped())
+	}
+	ds := f.Decisions()
+	for i, d := range ds {
+		if d.Cycle != i+2 {
+			t.Fatalf("decision %d cycle = %d, want %d (oldest-first after wrap)", i, d.Cycle, i+2)
+		}
+	}
+}
+
+func TestFlightRecorderUnwrapped(t *testing.T) {
+	f := NewFlightRecorder(0) // default size
+	f.Record(Decision{Phase: "a"})
+	f.Record(Decision{Phase: "b"})
+	if f.Len() != 2 || f.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", f.Len(), f.Dropped())
+	}
+	ds := f.Decisions()
+	if len(ds) != 2 || ds[0].Phase != "a" || ds[1].Phase != "b" {
+		t.Fatalf("decisions = %+v", ds)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Decision{})
+	if f.Len() != 0 || f.Dropped() != 0 || f.Decisions() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestWriteDecisionTable(t *testing.T) {
+	ds := []Decision{
+		{TimeSec: 0.5, Cycle: 1, Phase: "simulate", Class: "sensitive",
+			FeedforwardW: 90, BankJ: 12.5, TrimW: -1.5, OldWatts: 65, NewWatts: 88.5, Reason: "boundary"},
+		{TimeSec: 1.25, Cycle: 1, Phase: "contour", Class: "opportunity",
+			OldWatts: 88.5, NewWatts: 65, Reason: "retune"},
+	}
+	var sb strings.Builder
+	WriteDecisionTable(&sb, ds, 3)
+	out := sb.String()
+	for _, want := range []string{"simulate", "contour", "sensitive", "opportunity",
+		"boundary", "retune", "2 decisions", "3 older decisions dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

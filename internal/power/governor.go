@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/perfctr"
 	"repro/internal/rapl"
 	"repro/internal/telemetry"
@@ -38,6 +39,14 @@ type Options struct {
 	// MaxSamples bounds the retained sample timeline (default
 	// DefaultMaxSamples); older samples are dropped, not the run.
 	MaxSamples int
+	// DecisionLog bounds the flight recorder's cap-decision ring
+	// (default obs.DefaultFlightRecorderSize); oldest decisions are
+	// overwritten and counted, never the run blocked.
+	DecisionLog int
+	// Metrics, when non-nil, publishes the governor's live series (cap,
+	// bank, trim, meter watts, class votes) to the registry. Register at
+	// most one governor per registry: the series names are fixed.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -88,6 +97,11 @@ type PhaseReport struct {
 	DemandWatts  float64
 	DemandIsFree bool
 	Ticks        int
+	// TraceLo and TraceHi bound the tracer window captured around the
+	// live phase (tracer clock, see telemetry.Window); both zero when
+	// the phase ran untraced (segment replays). Result.Attribute joins
+	// this window's span self time with EnergyJ.
+	TraceLo, TraceHi int64
 }
 
 // Result is a governed run.
@@ -103,7 +117,11 @@ type Result struct {
 	// SamplesDropped counts evicted older samples.
 	Samples        []perfctr.Sample
 	SamplesDropped int
-	Phases         []PhaseReport
+	// Decisions is the flight recorder's dump, oldest first;
+	// DecisionsDropped counts decisions its bounded ring overwrote.
+	Decisions        []obs.Decision
+	DecisionsDropped int64
+	Phases           []PhaseReport
 	// Segments are the labeled executions the run governed, replayable
 	// with RunSegments.
 	Segments []Segment
@@ -138,9 +156,11 @@ type Governor struct {
 	spec cpu.Spec
 	opt  Options
 
-	m    *meter
-	ctrl controller
-	ring *sampleRing
+	m      *meter
+	ctrl   controller
+	ring   *sampleRing
+	flight *obs.FlightRecorder
+	gauges *govGauges
 
 	states map[string]*phaseState
 	order  []string
@@ -173,12 +193,53 @@ func New(pkg *rapl.Package, opt Options) (*Governor, error) {
 		m:      m,
 		ctrl:   controller{spec: spec, targetW: opt.TargetWatts, gain: opt.GainWPerW},
 		ring:   newSampleRing(opt.MaxSamples),
+		flight: obs.NewFlightRecorder(opt.DecisionLog),
+		gauges: newGovGauges(opt.Metrics),
 		states: make(map[string]*phaseState),
 	}
+	before := g.pkg.EffectiveCapWatts()
 	if err := g.pkg.SetLimitWatts(opt.TargetWatts); err != nil {
 		return nil, err
 	}
+	g.record(obs.Decision{
+		Phase:        "(startup)",
+		Class:        core.PowerSensitive.String(),
+		FeedforwardW: opt.TargetWatts,
+		OldWatts:     before,
+		NewWatts:     g.pkg.EffectiveCapWatts(),
+		Reason:       "init: program target as opening cap",
+	}, core.PowerSensitive, false)
 	return g, nil
+}
+
+// record logs one cap decision to the flight recorder and mirrors it
+// into the live gauges.
+func (g *Governor) record(d obs.Decision, class core.Class, boundary bool) {
+	d.TimeSec = g.m.nowSec
+	g.flight.Record(d)
+	g.gauges.onDecision(d, class, boundary)
+}
+
+// decide programs a new cap and flight-records the transition with the
+// control-law components that produced it.
+func (g *Governor) decide(st *phaseState, want float64, reason string, boundary bool) error {
+	old := g.pkg.EffectiveCapWatts()
+	if err := g.program(want); err != nil {
+		return err
+	}
+	g.record(obs.Decision{
+		Cycle:        st.visits + 1,
+		Phase:        st.label,
+		Class:        st.class.String(),
+		Score:        st.score,
+		FeedforwardW: g.horizons().ffW,
+		BankJ:        g.ctrl.bankJ,
+		TrimW:        g.ctrl.trimW,
+		OldWatts:     old,
+		NewWatts:     g.pkg.EffectiveCapWatts(),
+		Reason:       reason,
+	}, st.class, boundary)
+	return nil
 }
 
 // Warm seeds the governor's per-label memory — class, score, duration,
@@ -355,7 +416,7 @@ func (g *Governor) governPhase(label string, e cpu.Execution, ls liveStats) (Pha
 	// Boundary decision: reprogram unconditionally from the label's
 	// remembered class and the current bank.
 	capW := g.desiredCap(st)
-	if err := g.program(capW); err != nil {
+	if err := g.decide(st, capW, "boundary", true); err != nil {
 		return PhaseReport{}, err
 	}
 
@@ -366,6 +427,8 @@ func (g *Governor) governPhase(label string, e cpu.Execution, ls liveStats) (Pha
 		StealFrac:     ls.stealFrac,
 		SelfTimeSec:   ls.selfSec,
 		WallSec:       ls.wallSec,
+		TraceLo:       ls.traceLo,
+		TraceHi:       ls.traceHi,
 	}
 
 	var last perfctr.Sample
@@ -391,6 +454,7 @@ func (g *Governor) governPhase(label string, e cpu.Execution, ls liveStats) (Pha
 		rep.EnergyJ += r.PowerWatts * dt
 		rep.Ticks++
 		last = s
+		g.gauges.onTick(r.PowerWatts, g.m.avgWatts(), r.PowerWatts*dt)
 
 		effCap := g.pkg.EffectiveCapWatts()
 		g.ctrl.credit(dt, r.PowerWatts)
@@ -414,7 +478,7 @@ func (g *Governor) governPhase(label string, e cpu.Execution, ls liveStats) (Pha
 		// Intra-phase retune behind the hysteresis band.
 		want := g.desiredCap(st)
 		if abs(want-capW) >= g.opt.HysteresisWatts {
-			if err := g.program(want); err != nil {
+			if err := g.decide(st, want, "retune", false); err != nil {
 				return rep, err
 			}
 			capW = want
@@ -454,6 +518,9 @@ type liveStats struct {
 	stealFrac float64
 	selfSec   float64
 	wallSec   float64
+	// traceLo/traceHi bound the phase's spans on the tracer clock
+	// (both zero when untraced).
+	traceLo, traceHi int64
 }
 
 // capturePhase runs one pipeline phase and snapshots the pool counters
@@ -480,7 +547,8 @@ func capturePhase(pipe *core.Pipeline, run func() (core.PhaseResult, error)) (co
 		ls.stealFrac = float64(post.Stolen-pre.Stolen) / float64(dTasks)
 	}
 	if tr != nil {
-		spans := telemetry.Window(tr.Spans(), lo, tr.Now())
+		ls.traceLo, ls.traceHi = lo, tr.Now()
+		spans := telemetry.Window(tr.Spans(), ls.traceLo, ls.traceHi)
 		for _, st := range telemetry.Summarize(spans) {
 			ls.selfSec += st.SelfSec()
 		}
@@ -537,16 +605,18 @@ func (g *Governor) RunSegments(segs []Segment) (Result, error) {
 
 func (g *Governor) finish() Result {
 	return Result{
-		TargetWatts:    g.opt.TargetWatts,
-		TimeSec:        g.m.nowSec,
-		EnergyJ:        g.m.spentJ,
-		AvgPowerWatts:  g.m.avgWatts(),
-		FinalCapWatts:  g.pkg.EffectiveCapWatts(),
-		Reprograms:     g.reprograms,
-		Samples:        g.ring.samples(),
-		SamplesDropped: g.ring.dropped(),
-		Phases:         g.phases,
-		Segments:       g.segments,
+		TargetWatts:      g.opt.TargetWatts,
+		TimeSec:          g.m.nowSec,
+		EnergyJ:          g.m.spentJ,
+		AvgPowerWatts:    g.m.avgWatts(),
+		FinalCapWatts:    g.pkg.EffectiveCapWatts(),
+		Reprograms:       g.reprograms,
+		Samples:          g.ring.samples(),
+		SamplesDropped:   g.ring.dropped(),
+		Decisions:        g.flight.Decisions(),
+		DecisionsDropped: g.flight.Dropped(),
+		Phases:           g.phases,
+		Segments:         g.segments,
 	}
 }
 

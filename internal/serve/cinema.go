@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"path/filepath"
+	"time"
 
 	"repro/internal/cinema"
 )
@@ -57,7 +58,8 @@ type cinemaResponse struct {
 // database's async queue. The manifest lands at Finalize (daemon
 // shutdown) — the response lists the frame files the segment produced.
 func (s *Server) handleCinema(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.requests["cinema"].Inc()
+	defer s.met.observeRequest("cinema", time.Now())
 	track, done := s.lane()
 	defer done()
 	reqStart := s.tr.Begin()
@@ -115,11 +117,16 @@ func (s *Server) handleCinema(w http.ResponseWriter, r *http.Request) {
 		Width: rr.w, Height: rr.h,
 	}
 	renderStart := s.tr.Begin()
+	var segmentJ float64
 	for i := 0; i < count; i++ {
 		frame := *rr
 		frame.frame = from + i
 		im, exec := s.renderFrame(st, &frame)
 		s.noteDemand(rr.name, rr.size, exec)
+		frameJ := exec.UnderCap(s.spec.TDPWatts).EnergyJ
+		segmentJ += frameJ
+		s.met.energyJ.Add(frameJ)
+		s.met.frames.Inc()
 		az := 2 * math.Pi * float64(frame.frame) / float64(frame.images)
 		encodeStart := s.tr.Begin()
 		if err := cdb.db.AddAt(cycle, frame.frame, az, im); err != nil {
@@ -130,5 +137,6 @@ func (s *Server) handleCinema(w http.ResponseWriter, r *http.Request) {
 		resp.Frames = append(resp.Frames, cinema.FrameName(cycle, frame.frame))
 	}
 	s.span(track, "serve.render", renderStart)
+	w.Header().Set("X-Energy-Joules", fmt.Sprintf("%.3f", segmentJ))
 	writeJSON(w, resp)
 }

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/msr"
+	"repro/internal/obs"
+	"repro/internal/ops"
+	"repro/internal/power"
+	"repro/internal/rapl"
+)
+
+// TestMetricsEndpoint is the acceptance-criterion parse-back: GET
+// /metrics must return valid Prometheus text covering the pool,
+// fabric, admission, cache, and governor series.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t, Options{BudgetWatts: 200})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Traffic first, so the counters have something to show.
+	if resp, body := get(t, ts, "/render?alg=volren&frame=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("render: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	n, err := obs.ValidatePrometheus(body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	text := string(body)
+	for _, want := range []string{
+		// pool
+		"vizpower_pool_workers",
+		"vizpower_pool_tasks_total",
+		"vizpower_pool_chunk_seconds_bucket",
+		// fabric
+		"vizpower_fabric_sends_total",
+		"vizpower_fabric_retries_total",
+		// admission
+		"vizpower_admission_budget_watts 200",
+		"vizpower_admission_admitted_total",
+		// cache
+		"vizpower_cache_hits_total",
+		"vizpower_cache_misses_total",
+		// governor (flight-recorder log series; live governor gauges
+		// join via power.Options.Metrics on the same registry)
+		"vizpower_governor_log_decisions",
+		// request plane
+		`vizpower_serve_requests_total{handler="render"} 1`,
+		`vizpower_serve_request_seconds_bucket{handler="render",le="+Inf"} 1`,
+		"vizpower_serve_energy_joules_total",
+		"vizpower_trace_spans_dropped",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestRenderEnergyHeader(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/render?alg=volren")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	j, err := strconv.ParseFloat(resp.Header.Get("X-Energy-Joules"), 64)
+	if err != nil || j <= 0 {
+		t.Fatalf("X-Energy-Joules = %q (%v), want positive", resp.Header.Get("X-Energy-Joules"), err)
+	}
+	// The scrape accumulates the same joules.
+	_, mbody := get(t, ts, "/metrics")
+	if !strings.Contains(string(mbody), "vizpower_serve_energy_joules_total") {
+		t.Error("energy counter absent from scrape")
+	}
+}
+
+func TestDebugGovernorEndpoint(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Empty until seeded.
+	resp, body := get(t, ts, "/debug/governor")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var dump struct {
+		Decisions []map[string]any `json:"decisions"`
+		Dropped   int64            `json:"dropped"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(dump.Decisions) != 0 {
+		t.Fatalf("unseeded dump has %d decisions", len(dump.Decisions))
+	}
+
+	s.SetGovernorLog([]obs.Decision{
+		{TimeSec: 0.5, Cycle: 1, Phase: "simulate", Class: "power sensitive",
+			FeedforwardW: 90, OldWatts: 65, NewWatts: 88, Reason: "boundary"},
+	}, 2)
+	_, body = get(t, ts, "/debug/governor")
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(dump.Decisions) != 1 || dump.Dropped != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Decisions[0]["phase"] != "simulate" || dump.Decisions[0]["reason"] != "boundary" {
+		t.Errorf("decision fields wrong: %+v", dump.Decisions[0])
+	}
+}
+
+func TestStatsSurfacesDropsAndFabric(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/stats")
+	var st struct {
+		SpansDropped *int64 `json:"spans_dropped"`
+		Fabric       *struct {
+			Sends int64 `json:"sends"`
+		} `json:"fabric"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if st.SpansDropped == nil {
+		t.Error("/stats missing spans_dropped")
+	}
+	if st.Fabric == nil {
+		t.Error("/stats missing fabric")
+	}
+}
+
+// TestGovernorMetricsOnServeRegistry checks the composition the -govern
+// flag uses: a calibration governor publishing to the daemon's registry
+// puts its live series on the same /metrics page.
+func TestGovernorMetricsOnServeRegistry(t *testing.T) {
+	s := testServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pkg := rapl.NewPackage(msr.NewFile(), cpu.BroadwellEP())
+	g, err := power.New(pkg, power.Options{TargetWatts: 65, IntervalSec: 0.01, Metrics: s.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, cold ops.Profile
+	hot.Flops = 8e9
+	hot.LoadBytes[ops.Resident] = 16e9
+	hot.WorkingSetBytes = 16 << 20
+	hot.Launches = 2
+	cold.Flops = 4e8
+	cold.LoadBytes[ops.Stream] = 24e9
+	cold.WorkingSetBytes = 140 << 20
+	cold.Launches = 2
+	model := cpu.BroadwellEP()
+	res, err := g.RunSegments([]power.Segment{
+		{Label: "hot", Exec: cpu.Analyze(model, hot, 0)},
+		{Label: "cold", Exec: cpu.Analyze(model, cold, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGovernorLog(res.Decisions, res.DecisionsDropped)
+
+	_, body := get(t, ts, "/metrics")
+	if _, err := obs.ValidatePrometheus(body); err != nil {
+		t.Fatalf("combined exposition invalid: %v", err)
+	}
+	for _, want := range []string{"vizpower_governor_cap_watts", "vizpower_governor_decisions_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("combined scrape missing %q", want)
+		}
+	}
+}

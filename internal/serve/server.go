@@ -9,13 +9,14 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/render"
 	"repro/internal/telemetry"
@@ -86,8 +87,12 @@ type Server struct {
 	// TDP guess.
 	classDemand sync.Map // core.Class -> float64 (watts)
 
-	requests atomic.Int64
-	rejected atomic.Int64
+	// met is the daemon's metrics plane (GET /metrics); govDecisions is
+	// the seeded governor flight-recorder dump (GET /debug/governor).
+	met          *serverMetrics
+	govMu        sync.Mutex
+	govDecisions []obs.Decision
+	govDropped   int64
 }
 
 // New builds a Server over opts.
@@ -126,22 +131,27 @@ func New(opts Options) *Server {
 	for l := 0; l < opts.Lanes; l++ {
 		s.lanes <- l
 	}
+	s.initMetrics()
 	return s
 }
 
 // Handler returns the daemon's HTTP mux:
 //
-//	GET /render  — one orbit frame as PNG
-//	GET /cinema  — an orbit segment into a cinema database (JSON)
-//	GET /sweep   — one (algorithm, size) sweep cell under every cap (JSON)
-//	GET /stats   — admission, cache, and pool counters (JSON)
-//	GET /healthz — liveness
+//	GET /render         — one orbit frame as PNG
+//	GET /cinema         — an orbit segment into a cinema database (JSON)
+//	GET /sweep          — one (algorithm, size) sweep cell under every cap (JSON)
+//	GET /stats          — admission, cache, and pool counters (JSON)
+//	GET /metrics        — the registry in Prometheus text format
+//	GET /debug/governor — the seeded governor flight-recorder dump (JSON)
+//	GET /healthz        — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/render", s.handleRender)
 	mux.HandleFunc("/cinema", s.handleCinema)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/governor", s.handleDebugGovernor)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -452,7 +462,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, track int, name s
 	if err != nil {
 		var ov *OverloadError
 		if errors.As(err, &ov) {
-			s.rejected.Add(1)
+			s.met.rejected.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ov.RetryAfter.Seconds()))))
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return nil
@@ -471,7 +481,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, track int, name s
 // or build the derived structure, render one orbit frame, encode it as
 // PNG. Every stage lands as a span on the request's telemetry lane.
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.requests["render"].Inc()
+	defer s.met.observeRequest("render", time.Now())
 	track, done := s.lane()
 	defer done()
 	reqStart := s.tr.Begin()
@@ -504,6 +515,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	im, exec := s.renderFrame(st, rr)
 	s.span(track, "serve.render", renderStart)
 	s.noteDemand(rr.name, rr.size, exec)
+	frameJ := exec.UnderCap(s.spec.TDPWatts).EnergyJ
+	s.met.energyJ.Add(frameJ)
+	s.met.frames.Inc()
 
 	encodeStart := s.tr.Begin()
 	var buf bytes.Buffer
@@ -516,6 +530,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		cacheState = "hit"
 	}
+	w.Header().Set("X-Energy-Joules", fmt.Sprintf("%.3f", frameJ))
 	w.Header().Set("X-Serve-Cache", cacheState)
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
@@ -549,7 +564,8 @@ type sweepCapRow struct {
 // The cell is built single-flight and cached, so a sweep served to
 // thousands of clients costs one instrumented execution.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.requests["sweep"].Inc()
+	defer s.met.observeRequest("sweep", time.Now())
 	track, done := s.lane()
 	defer done()
 	reqStart := s.tr.Begin()
@@ -638,6 +654,11 @@ type statsResponse struct {
 	Admission AdmissionStats `json:"admission"`
 	Cache     CacheStats     `json:"cache"`
 	Pool      poolStats      `json:"pool"`
+	// SpansDropped counts request spans lost to lane-track overflow —
+	// nonzero means the telemetry is undercounting, so surface it.
+	SpansDropped int64 `json:"spans_dropped"`
+	// Fabric is the process-lifetime rank-fabric traffic snapshot.
+	Fabric dist.FabricStats `json:"fabric"`
 	// ClassDemand is the seeded per-class admission estimate in watts
 	// (absent until SeedClassDemand installs a calibration).
 	ClassDemand map[string]float64 `json:"classDemand,omitempty"`
@@ -664,13 +685,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if len(demand) == 0 {
 		demand = nil
 	}
+	var requests int64
+	for _, c := range s.met.requests {
+		requests += c.Value()
+	}
 	writeJSON(w, statsResponse{
-		UptimeSec:   time.Since(s.t0).Seconds(),
-		Requests:    s.requests.Load(),
-		Rejected:    s.rejected.Load(),
-		Admission:   s.adm.Stats(),
-		Cache:       s.cache.Stats(),
-		ClassDemand: demand,
+		UptimeSec:    time.Since(s.t0).Seconds(),
+		Requests:     requests,
+		Rejected:     s.met.rejected.Value(),
+		Admission:    s.adm.Stats(),
+		Cache:        s.cache.Stats(),
+		SpansDropped: s.tr.Dropped(),
+		Fabric:       dist.FabricTotals(),
+		ClassDemand:  demand,
 		Pool: poolStats{
 			Workers:     s.pool.Workers(),
 			Launches:    ps.Launches,
